@@ -1,0 +1,83 @@
+// Command emlife compares the EM-induced lifetime of the C4 pad and TSV
+// arrays between a regular and a voltage-stacked PDN at one design point.
+//
+// Usage:
+//
+//	emlife [-layers N] [-tsv dense|sparse|few] [-padfrac F] [-grid N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"voltstack/internal/core"
+	"voltstack/internal/pdngrid"
+)
+
+func main() {
+	layers := flag.Int("layers", 8, "number of stacked silicon layers")
+	tsvName := flag.String("tsv", "few", "TSV topology: dense, sparse or few")
+	padFrac := flag.Float64("padfrac", 0.25, "fraction of C4 pad sites used for power")
+	grid := flag.Int("grid", 32, "PDN mesh resolution (NxN)")
+	flag.Parse()
+
+	var tsv pdngrid.TSVTopology
+	switch strings.ToLower(*tsvName) {
+	case "dense":
+		tsv = pdngrid.DenseTSV()
+	case "sparse":
+		tsv = pdngrid.SparseTSV()
+	case "few":
+		tsv = pdngrid.FewTSV()
+	default:
+		fmt.Fprintf(os.Stderr, "emlife: unknown TSV topology %q\n", *tsvName)
+		os.Exit(2)
+	}
+
+	s := core.NewStudy()
+	s.Params.GridNx, s.Params.GridNy = *grid, *grid
+
+	type point struct {
+		name  string
+		build func() (*pdngrid.PDN, error)
+	}
+	points := []point{
+		{"regular", func() (*pdngrid.PDN, error) { return s.RegularPDN(*layers, tsv, *padFrac) }},
+		{"voltage-stacked", func() (*pdngrid.PDN, error) { return s.VoltageStackedPDN(*layers, 4, tsv, *padFrac) }},
+	}
+
+	fmt.Printf("EM lifetime comparison: %d layers, %s TSV, %.0f%% power pads (all layers active)\n",
+		*layers, tsv.Name, 100**padFrac)
+	type res struct{ tsvLife, c4Life float64 }
+	results := map[string]res{}
+	for _, pt := range points {
+		p, err := pt.build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emlife:", err)
+			os.Exit(1)
+		}
+		r, err := p.Solve(pdngrid.UniformActivities(*layers, s.Chip.NumCores(), 1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emlife:", err)
+			os.Exit(1)
+		}
+		tl, err := s.TSVLifetime(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emlife:", err)
+			os.Exit(1)
+		}
+		cl, err := s.C4Lifetime(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emlife:", err)
+			os.Exit(1)
+		}
+		results[pt.name] = res{tl, cl}
+		fmt.Printf("  %-16s TSV-array lifetime %.3g, C4-array lifetime %.3g (arbitrary units)\n",
+			pt.name, tl, cl)
+	}
+	reg, vs := results["regular"], results["voltage-stacked"]
+	fmt.Printf("  V-S advantage: TSV %.2fx, C4 %.2fx\n",
+		vs.tsvLife/reg.tsvLife, vs.c4Life/reg.c4Life)
+}

@@ -1,0 +1,73 @@
+// Command vsdse runs the cross-layer design-space exploration: every
+// combination of PDN kind, TSV topology, pad allocation and converter
+// count is evaluated for area, noise, efficiency, EM lifetime and
+// off-chip current, and the Pareto-efficient designs are reported.
+//
+// Usage:
+//
+//	vsdse [-layers N] [-imbalance F] [-grid N] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"voltstack/internal/explore"
+)
+
+func main() {
+	layers := flag.Int("layers", 8, "number of stacked silicon layers")
+	imbalance := flag.Float64("imbalance", 0.65, "workload imbalance for the noise/efficiency metrics")
+	grid := flag.Int("grid", 16, "PDN mesh resolution (NxN)")
+	all := flag.Bool("all", false, "print every feasible design, not only the Pareto set")
+	flag.Parse()
+
+	space := explore.DefaultSpace()
+	space.Layers = *layers
+	space.Imbalance = *imbalance
+	space.Params.GridNx, space.Params.GridNy = *grid, *grid
+
+	start := time.Now()
+	res, err := space.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsdse:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("design space: %d layers, %.0f%% imbalance, %d designs evaluated (%d infeasible dropped)\n",
+		*layers, 100**imbalance, len(res.Points)+res.Dropped, res.Dropped)
+	fmt.Println()
+	header := fmt.Sprintf("%-26s %8s %9s %6s %8s %8s %9s %6s",
+		"design", "area%", "noise%Vdd", "eff%", "TSVlife", "C4life", "Iboard(A)", "pads")
+
+	inPareto := map[int]bool{}
+	for _, pi := range res.Pareto {
+		inPareto[pi] = true
+	}
+
+	fmt.Println("Pareto-efficient designs (area↓ noise↓ eff↑ lifetimes↑):")
+	fmt.Println(header)
+	for _, pi := range res.Pareto {
+		printRow(res.Points[pi])
+	}
+
+	if *all {
+		fmt.Println()
+		fmt.Println("dominated designs:")
+		fmt.Println(header)
+		for i, m := range res.Points {
+			if !inPareto[i] {
+				printRow(m)
+			}
+		}
+	}
+	fmt.Printf("\ndone in %.1fs\n", time.Since(start).Seconds())
+}
+
+func printRow(m *explore.Metrics) {
+	fmt.Printf("%-26s %8.1f %9.2f %6.1f %8.2f %8.2f %9.2f %6d\n",
+		m.Design.Name(), m.AreaOverheadPct, m.MaxIRDropPct,
+		100*m.Efficiency, m.TSVLifetime, m.C4Lifetime, m.OffChipCurrentA, m.PowerPads)
+}

@@ -1,0 +1,252 @@
+// Command vsexplore regenerates every table and figure of the paper's
+// evaluation in text form.
+//
+// Usage:
+//
+//	vsexplore [-exp all|table1|table2|fig3a|fig3b|fig5a|fig5b|fig6|fig7|fig8|thermal|headlines] [-coarse]
+//
+// -coarse runs the PDN experiments on a 16x16 mesh (seconds instead of
+// tens of seconds); headline numbers are stable across both resolutions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"voltstack/internal/core"
+)
+
+func main() {
+	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (fig3a/fig3b/fig5a/fig5b/fig6/fig7/fig8 only)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig3a, fig3b, fig5a, fig5b, fig6, fig7, fig8, thermal, headlines, ext-transient, ext-converters, ext-scheduling, ext-electrothermal, ext-thermal-em, ext-guardband, ext-trace-noise, ext-scaling, ext-dvfs, ext-decap-split)")
+	coarse := flag.Bool("coarse", false, "use a coarse 16x16 PDN mesh for speed")
+	flag.Parse()
+
+	s := core.NewStudy()
+	if *coarse {
+		s.Coarse()
+	}
+
+	csvRunners := map[string]func() (string, error){
+		"fig3a": func() (string, error) {
+			pts, err := s.Fig3a()
+			if err != nil {
+				return "", err
+			}
+			return core.CSVFig3(pts), nil
+		},
+		"fig3b": func() (string, error) {
+			pts, err := s.Fig3b()
+			if err != nil {
+				return "", err
+			}
+			return core.CSVFig3(pts), nil
+		},
+		"fig5a": func() (string, error) {
+			fig, err := s.Fig5a()
+			if err != nil {
+				return "", err
+			}
+			return core.CSVFig5(fig), nil
+		},
+		"fig5b": func() (string, error) {
+			fig, err := s.Fig5b()
+			if err != nil {
+				return "", err
+			}
+			return core.CSVFig5(fig), nil
+		},
+		"fig6": func() (string, error) {
+			fig, err := s.Fig6()
+			if err != nil {
+				return "", err
+			}
+			return core.CSVFig6(fig), nil
+		},
+		"fig7": func() (string, error) { return core.CSVFig7(s.Fig7()), nil },
+		"fig8": func() (string, error) {
+			fig, err := s.Fig8()
+			if err != nil {
+				return "", err
+			}
+			return core.CSVFig8(fig), nil
+		},
+	}
+
+	runners := map[string]func() (string, error){
+		"table1": func() (string, error) { return core.RenderTable1(s.Table1()), nil },
+		"table2": func() (string, error) { return core.RenderTable2(s.Table2()), nil },
+		"fig3a": func() (string, error) {
+			pts, err := s.Fig3a()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderFig3("Fig. 3a: closed-loop SC converter validation (model vs. switch-level simulation)", pts, false), nil
+		},
+		"fig3b": func() (string, error) {
+			pts, err := s.Fig3b()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderFig3("Fig. 3b: open-loop SC converter validation (model vs. switch-level simulation)", pts, true), nil
+		},
+		"fig5a": func() (string, error) {
+			f, err := s.Fig5a()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderFig5("Fig. 5a: normalized power-supply TSV EM-free MTTF (base: 2-layer V-S)", f), nil
+		},
+		"fig5b": func() (string, error) {
+			f, err := s.Fig5b()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderFig5("Fig. 5b: normalized power-supply C4 EM-free MTTF (base: 2-layer V-S)", f), nil
+		},
+		"fig6": func() (string, error) {
+			f, err := s.Fig6()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderFig6(f), nil
+		},
+		"fig7": func() (string, error) { return core.RenderFig7(s.Fig7()), nil },
+		"fig8": func() (string, error) {
+			f, err := s.Fig8()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderFig8(f), nil
+		},
+		"thermal": func() (string, error) {
+			tc, err := s.Thermal()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderThermal(tc), nil
+		},
+		"headlines": func() (string, error) {
+			h, err := s.Headlines()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderHeadlines(h), nil
+		},
+		"ext-transient": func() (string, error) {
+			r, err := s.ExtTransient()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderExtTransient(r), nil
+		},
+		"ext-converters": func() (string, error) {
+			return core.RenderExtConverters(s.ExtConverters()), nil
+		},
+		"ext-scheduling": func() (string, error) {
+			r, err := s.ExtScheduling()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderExtScheduling(r), nil
+		},
+		"ext-decap-split": func() (string, error) {
+			r, err := s.ExtDecapSplit(1200)
+			if err != nil {
+				return "", err
+			}
+			return core.RenderExtDecapSplit(r), nil
+		},
+		"ext-dvfs": func() (string, error) {
+			r, err := s.ExtDVFS()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderExtDVFS(r), nil
+		},
+		"ext-scaling": func() (string, error) {
+			r, err := s.ExtScaling()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderExtScaling(r), nil
+		},
+		"ext-trace-noise": func() (string, error) {
+			r, err := s.ExtTraceNoise(100)
+			if err != nil {
+				return "", err
+			}
+			return core.RenderExtTraceNoise(r), nil
+		},
+		"ext-guardband": func() (string, error) {
+			r, err := s.ExtGuardband()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderExtGuardband(r), nil
+		},
+		"ext-thermal-em": func() (string, error) {
+			r, err := s.ExtThermalEM()
+			if err != nil {
+				return "", err
+			}
+			return core.RenderExtThermalEM(r), nil
+		},
+		"ext-electrothermal": func() (string, error) {
+			var rows []*core.ExtElectrothermalResult
+			for layers := 2; layers <= 8; layers += 2 {
+				r, err := s.ExtElectrothermal(layers)
+				if err != nil {
+					return "", err
+				}
+				rows = append(rows, r)
+			}
+			return core.RenderExtElectrothermal(rows), nil
+		},
+	}
+	order := []string{"table1", "table2", "fig3a", "fig3b", "fig5a", "fig5b", "fig6", "fig7", "fig8",
+		"thermal", "headlines", "ext-transient", "ext-converters", "ext-scheduling", "ext-electrothermal", "ext-thermal-em", "ext-guardband", "ext-trace-noise", "ext-scaling", "ext-dvfs", "ext-decap-split"}
+
+	var selected []string
+	switch strings.ToLower(*exp) {
+	case "all":
+		selected = order
+	default:
+		if _, ok := runners[strings.ToLower(*exp)]; !ok {
+			fmt.Fprintf(os.Stderr, "vsexplore: unknown experiment %q (have: all %s)\n", *exp, strings.Join(order, " "))
+			os.Exit(2)
+		}
+		selected = []string{strings.ToLower(*exp)}
+	}
+
+	start := time.Now()
+	if *csvOut {
+		for _, name := range selected {
+			run, ok := csvRunners[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vsexplore: no CSV form for %q\n", name)
+				os.Exit(2)
+			}
+			out, err := run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vsexplore: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		}
+		return
+	}
+	for _, name := range selected {
+		out, err := runners[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vsexplore: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Println()
+	}
+	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+}

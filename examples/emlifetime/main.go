@@ -1,0 +1,63 @@
+// EM lifetime scaling: how stacking more layers wears out the power
+// delivery conductors (the paper's Fig. 5). Builds regular and
+// voltage-stacked PDNs from 2 to 8 layers, extracts per-pad and per-TSV
+// currents from the grid solve, and runs the Black's-equation weakest-link
+// lifetime model on each array.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voltstack/internal/core"
+	"voltstack/internal/pdngrid"
+)
+
+func main() {
+	study := core.NewStudy().Coarse()
+
+	fmt.Println("Expected EM-damage-free lifetime vs. layer count")
+	fmt.Println("(normalized to the 2-layer voltage-stacked design)")
+	fmt.Println()
+	fmt.Println("layers | reg TSV | V-S TSV | reg C4 | V-S C4")
+
+	// Baselines: the 2-layer V-S design point.
+	baseTSV, baseC4 := solve(study, pdngrid.VoltageStacked, 2)
+
+	for layers := 2; layers <= 8; layers += 2 {
+		regTSV, regC4 := solve(study, pdngrid.Regular, layers)
+		vsTSV, vsC4 := solve(study, pdngrid.VoltageStacked, layers)
+		fmt.Printf("%6d | %7.2f | %7.2f | %6.2f | %6.2f\n",
+			layers, regTSV/baseTSV, vsTSV/baseTSV, regC4/baseC4, vsC4/baseC4)
+	}
+	fmt.Println()
+	fmt.Println("The regular PDN's conductors carry N layers' worth of current and")
+	fmt.Println("wear out rapidly; the stacked PDN recycles charge between layers,")
+	fmt.Println("so its current density — and lifetime — is almost layer-independent.")
+}
+
+// solve builds one scenario, runs it fully active, and returns the TSV and
+// C4 array lifetimes.
+func solve(study *core.Study, kind pdngrid.Kind, layers int) (tsvLife, c4Life float64) {
+	var p *pdngrid.PDN
+	var err error
+	if kind == pdngrid.Regular {
+		p, err = study.RegularPDN(layers, pdngrid.FewTSV(), 0.25)
+	} else {
+		p, err = study.VoltageStackedPDN(layers, 4, pdngrid.FewTSV(), 0.25)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := p.Solve(pdngrid.UniformActivities(layers, study.Chip.NumCores(), 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tsvLife, err = study.TSVLifetime(r); err != nil {
+		log.Fatal(err)
+	}
+	if c4Life, err = study.C4Lifetime(r); err != nil {
+		log.Fatal(err)
+	}
+	return tsvLife, c4Life
+}

@@ -1,0 +1,65 @@
+// Scheduling: the paper's closing observation is that placing instances of
+// the same application in the same core stack reduces workload imbalance
+// and therefore V-S noise. This example schedules a mixed batch of Parsec
+// jobs onto an 8-layer voltage-stacked processor under three policies and
+// solves the PDN for each — including the cautionary "layer-banded" policy
+// whose coherent vertical gradient is far worse than random placement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voltstack/internal/core"
+	"voltstack/internal/pdngrid"
+	"voltstack/internal/sched"
+)
+
+func main() {
+	study := core.NewStudy().Coarse()
+	layers := 8
+	cores := study.Chip.NumCores()
+
+	// One job per (layer, core) slot, drawn from the Parsec populations.
+	jobs := sched.JobsFromSuite(study.Workloads(), layers*cores, 1)
+
+	policies := []struct {
+		name  string
+		build func() (*sched.Assignment, error)
+	}{
+		{"random", func() (*sched.Assignment, error) { return sched.Random(jobs, layers, cores, 2) }},
+		{"stack-aware", func() (*sched.Assignment, error) { return sched.StackAware(jobs, layers, cores) }},
+		{"layer-banded", func() (*sched.Assignment, error) { return sched.LayerBanded(jobs, layers, cores) }},
+	}
+
+	pdn, err := study.VoltageStackedPDN(layers, 2, pdngrid.FewTSV(), 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("8-layer V-S processor, lean 2-converter/core allocation, mixed Parsec batch")
+	fmt.Println()
+	fmt.Println("policy         mean adj-layer imbalance   max IR drop   worst converter")
+	for _, pol := range policies {
+		a, err := pol.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := pdn.Solve(a.Activities())
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := ""
+		if r.OverLimit {
+			status = "  <- exceeds the 100 mA rating"
+		}
+		fmt.Printf("%-14s %23.0f%% %12.2f%% %12.1f mA%s\n",
+			pol.name, 100*a.MeanStackImbalance(), 100*r.MaxIRDropFrac,
+			1000*r.MaxConverterCurrent, status)
+	}
+	fmt.Println()
+	fmt.Println("Grouping similar jobs per vertical stack (stack-aware) minimizes converter")
+	fmt.Println("stress; sorting jobs into layers (layer-banded) creates a coherent vertical")
+	fmt.Println("gradient whose same-sign mismatches accumulate across the stack — the one")
+	fmt.Println("workload shape a voltage stack cannot tolerate.")
+}

@@ -1,0 +1,82 @@
+// Thermal feasibility: how many layers of the 16-core processor can be
+// stacked under conventional air cooling before the hotspot passes 100 °C
+// (the paper's Sec. 4.1 argument for studying 2-8 layer systems).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voltstack/internal/floorplan"
+	"voltstack/internal/power"
+	"voltstack/internal/thermal"
+	"voltstack/internal/viz"
+)
+
+func main() {
+	chip := power.Example16Core()
+	die := chip.Die()
+
+	// Rasterize the fully active chip's power map onto the thermal mesh.
+	fp, err := chip.Floorplan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	acts := make([]float64, chip.NumCores())
+	for i := range acts {
+		acts[i] = 1
+	}
+	pm, err := chip.PowerMap(acts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := thermal.DefaultConfig(die, 1)
+	raster := floorplan.NewRaster(die, cfg.Nx, cfg.Ny)
+	cells, err := raster.Distribute(fp.Blocks, pm)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("16-core layer: %.1f W peak, %.2f mm² die, air cooling (%.2f K/W sink)\n",
+		chip.PeakPower(), chip.Area()*1e6, cfg.SinkR)
+	fmt.Println()
+	fmt.Println("layers  hotspot  sink base  verdict")
+	for layers := 1; layers <= 10; layers++ {
+		c := cfg
+		c.Layers = layers
+		maps := make([][]float64, layers)
+		for i := range maps {
+			maps[i] = cells
+		}
+		r, err := thermal.Solve(c, maps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "OK"
+		if r.MaxC >= 100 {
+			verdict = "exceeds 100 C"
+		}
+		fmt.Printf("%6d %7.1fC %9.1fC  %s\n", layers, r.MaxC, r.SinkC, verdict)
+	}
+
+	n, err := thermal.MaxLayersUnder(cfg, cells, 100, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmax stack depth under 100 C with air cooling: %d layers (paper: 8)\n", n)
+
+	// Temperature map of the critical (bottom) layer at 8 layers.
+	c8 := cfg
+	c8.Layers = 8
+	maps := make([][]float64, 8)
+	for i := range maps {
+		maps[i] = cells
+	}
+	r8, err := thermal.Solve(c8, maps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, mean, hi := viz.Stats(r8.TempsC[0])
+	fmt.Printf("\nbottom-layer temperature map at 8 layers (min %.1fC, mean %.1fC, max %.1fC):\n", lo, mean, hi)
+	fmt.Print(viz.Heatmap(r8.TempsC[0], c8.Nx, c8.Ny, viz.Options{FlipY: true, ShowScale: true}))
+}

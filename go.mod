@@ -1,0 +1,3 @@
+module voltstack
+
+go 1.22

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestCSVFig3(t *testing.T) {
+	pts := []Fig3Point{{LoadMA: 10, ModelEff: 0.45, SimEff: 0.451, ModelDropMV: 6, SimDropMV: 12.4}}
+	rows := parseCSV(t, CSVFig3(pts))
+	if len(rows) != 2 || len(rows[0]) != 5 {
+		t.Fatalf("shape %dx%d", len(rows), len(rows[0]))
+	}
+	if rows[1][0] != "10" || rows[1][1] != "0.45" {
+		t.Errorf("row = %v", rows[1])
+	}
+}
+
+func TestCSVFig5(t *testing.T) {
+	fig := &Fig5{
+		Layers: []int{2, 4},
+		Series: []Fig5Series{
+			{Label: "Reg", Values: []float64{1.5, 0.7}},
+			{Label: "V-S", Values: []float64{1, 0.98}},
+		},
+	}
+	rows := parseCSV(t, CSVFig5(fig))
+	if len(rows) != 3 || rows[0][1] != "Reg" || rows[2][2] != "0.98" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestCSVFig6NaNBecomesEmpty(t *testing.T) {
+	fig := &Fig6{
+		Imbalances:   []float64{0, 0.5},
+		VS:           map[int][]float64{2: {1.0, math.NaN()}},
+		RegularIRPct: map[string]float64{"Dense": 4.9},
+	}
+	rows := parseCSV(t, CSVFig6(fig))
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[2][1] != "" {
+		t.Errorf("over-limit point should serialize empty, got %q", rows[2][1])
+	}
+	if rows[1][2] != "4.9" || rows[2][2] != "4.9" {
+		t.Errorf("regular reference column wrong: %v", rows)
+	}
+}
+
+func TestCSVFig7And8EndToEnd(t *testing.T) {
+	s := coarseStudy()
+	rows := parseCSV(t, CSVFig7(s.Fig7()))
+	if len(rows) != 14 { // header + 13 apps
+		t.Errorf("fig7 rows = %d", len(rows))
+	}
+	fig8 := &Fig8{
+		Imbalances: []float64{0.1},
+		VS:         map[int][]float64{2: {0.95}, 8: {0.84}},
+		RegularSC:  []float64{0.80},
+	}
+	r8 := parseCSV(t, CSVFig8(fig8))
+	if len(r8) != 2 || r8[0][len(r8[0])-1] != "reg_sc_eff" {
+		t.Errorf("fig8 rows = %v", r8)
+	}
+	if r8[1][1] != "0.95" || r8[1][2] != "0.84" || r8[1][3] != "0.8" {
+		t.Errorf("fig8 data = %v", r8[1])
+	}
+}

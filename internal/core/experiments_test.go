@@ -1,0 +1,379 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"voltstack/internal/units"
+)
+
+// coarseStudy returns a test-speed study (16x16 PDN mesh). The headline
+// numbers were verified to be stable between the coarse and full meshes.
+func coarseStudy() *Study {
+	return NewStudy().Coarse()
+}
+
+func TestTable1ContainsPaperValues(t *testing.T) {
+	rows := NewStudy().Table1()
+	byName := map[string]string{}
+	for _, r := range rows {
+		byName[r.Name] = r.Value
+	}
+	if byName["C4 Pad Pitch (um)"] != "200" {
+		t.Errorf("pad pitch = %q", byName["C4 Pad Pitch (um)"])
+	}
+	if byName["C4 Pad Resistance (mOhm)"] != "10" {
+		t.Errorf("pad R = %q", byName["C4 Pad Resistance (mOhm)"])
+	}
+	if byName["Single TSV's Resistance (mOhm)"] != "44.539" {
+		t.Errorf("TSV R = %q", byName["Single TSV's Resistance (mOhm)"])
+	}
+	if byName["TSV Keep-Out Zone's Side Length (um)"] != "9.88" {
+		t.Errorf("KoZ = %q", byName["TSV Keep-Out Zone's Side Length (um)"])
+	}
+	if byName["TSV Diameter (um)"] != "5" || byName["Minimum TSV Pitch (um)"] != "10" {
+		t.Error("TSV geometry rows wrong")
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := NewStudy().Table2()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[string]struct {
+		perCore  int
+		overhead float64
+	}{
+		"Dense":  {6650, 24.2},
+		"Sparse": {1675, 6.1},
+		"Few":    {110, 0.4},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Fatalf("unexpected topology %q", r.Name)
+		}
+		if r.TSVsPerCore != w.perCore {
+			t.Errorf("%s: %d TSVs/core, want %d", r.Name, r.TSVsPerCore, w.perCore)
+		}
+		if !units.ApproxEqual(r.OverheadPct, w.overhead, 1.0, 0.05) {
+			t.Errorf("%s: overhead %.2f%%, want ~%.1f%%", r.Name, r.OverheadPct, w.overhead)
+		}
+	}
+}
+
+func TestFig3aClosedLoopValidation(t *testing.T) {
+	pts, err := coarseStudy().Fig3a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 7 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		// Model and simulation agree within 3 points; efficiency stays
+		// high across the whole load range (the Fig. 3a shape).
+		if math.Abs(p.ModelEff-p.SimEff) > 0.03 {
+			t.Errorf("%.1f mA: model %.3f vs sim %.3f", p.LoadMA, p.ModelEff, p.SimEff)
+		}
+		if p.ModelEff < 0.80 {
+			t.Errorf("%.1f mA: closed-loop efficiency %.3f too low", p.LoadMA, p.ModelEff)
+		}
+	}
+}
+
+func TestFig3bOpenLoopValidation(t *testing.T) {
+	pts, err := coarseStudy().Fig3b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if math.Abs(p.ModelEff-p.SimEff) > 0.02 {
+			t.Errorf("%.1f mA: model %.3f vs sim %.3f", p.LoadMA, p.ModelEff, p.SimEff)
+		}
+		// The drop curves share the RSERIES slope; the simulation carries
+		// a small constant offset from the physical bottom-plate load.
+		if math.Abs(p.ModelDropMV-p.SimDropMV) > 10 {
+			t.Errorf("%.1f mA: drop model %.1f vs sim %.1f mV", p.LoadMA, p.ModelDropMV, p.SimDropMV)
+		}
+	}
+	// Monotone rising efficiency and drop.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ModelEff <= pts[i-1].ModelEff || pts[i].ModelDropMV <= pts[i-1].ModelDropMV {
+			t.Error("open-loop curves must increase with load")
+		}
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	fig, err := coarseStudy().Fig5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string][]float64{}
+	for _, s := range fig.Series {
+		series[s.Label] = s.Values
+	}
+	vs := series["V-S PDN, Few TSV"]
+	few := series["Reg. PDN, Few TSV"]
+	sparse := series["Reg. PDN, Sparse TSV"]
+	dense := series["Reg. PDN, Dense TSV"]
+	last := len(fig.Layers) - 1
+
+	// Normalization: the 2-layer V-S point is 1.
+	if !units.ApproxEqual(vs[0], 1, 1e-9, 1e-9) {
+		t.Errorf("V-S 2-layer = %g, want 1 (normalization)", vs[0])
+	}
+	// Paper: V-S TSV lifetime is worse than regular at 2 layers
+	// (through-via effect) ...
+	if few[0] <= vs[0] {
+		t.Errorf("2-layer: regular Few %.3f should exceed V-S %.3f", few[0], vs[0])
+	}
+	// ... but regular degrades steeply with stacking while V-S barely moves.
+	if deg := 1 - few[last]/few[0]; deg < 0.7 || deg > 0.9 {
+		t.Errorf("regular Few degradation = %.2f, want ~0.84 (paper)", deg)
+	}
+	if deg := 1 - vs[last]/vs[0]; deg > 0.10 {
+		t.Errorf("V-S degradation = %.2f, want slight", deg)
+	}
+	// At 8 layers V-S exceeds every regular topology by > 1.5x and the
+	// Few topology by > 3x (paper: "more than 3x").
+	if gap := vs[last] / few[last]; gap < 3 {
+		t.Errorf("V-S/regular-Few gap at 8 layers = %.2f, want > 3", gap)
+	}
+	for name, s := range map[string][]float64{"Dense": dense, "Sparse": sparse} {
+		if vs[last] <= s[last] {
+			t.Errorf("V-S at 8 layers (%.2f) must exceed regular %s (%.2f)", vs[last], name, s[last])
+		}
+	}
+	// More TSVs help, but only marginally (well below their 60x count
+	// advantage thanks to current crowding).
+	if !(dense[last] > sparse[last] && sparse[last] > few[last]) {
+		t.Errorf("topology ordering violated: %.2f, %.2f, %.2f", dense[last], sparse[last], few[last])
+	}
+	if dense[last]/few[last] > 4 {
+		t.Errorf("Dense/Few lifetime ratio %.1f too large — crowding not effective", dense[last]/few[last])
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	fig, err := coarseStudy().Fig5b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string][]float64{}
+	for _, s := range fig.Series {
+		series[s.Label] = s.Values
+	}
+	vs := series["V-S PDN (25% Power C4)"]
+	last := len(fig.Layers) - 1
+
+	// V-S C4 lifetime is independent of layer count.
+	if math.Abs(vs[last]-vs[0]) > 0.05 {
+		t.Errorf("V-S C4 lifetime should be flat: %v", vs)
+	}
+	// The paper's 5x gap at 8 layers vs. the 25% regular allocation.
+	reg25 := series["Reg. PDN (25% Power C4)"]
+	if gap := vs[last] / reg25[last]; gap < 4 || gap > 6.5 {
+		t.Errorf("C4 gap at 8 layers = %.2f, want ~5 (paper)", gap)
+	}
+	// More power pads help the regular PDN...
+	reg100 := series["Reg. PDN (100% Power C4)"]
+	if reg100[last] <= reg25[last] {
+		t.Error("100% pads should outlive 25% pads")
+	}
+	// ... but even a full allocation stays far inferior to V-S.
+	if vs[last]/reg100[last] < 1.5 {
+		t.Errorf("V-S should clearly beat even 100%% pads: %.2f vs %.2f", vs[last], reg100[last])
+	}
+	// Every regular curve decreases with layer count.
+	for _, name := range []string{"Reg. PDN (25% Power C4)", "Reg. PDN (50% Power C4)", "Reg. PDN (75% Power C4)", "Reg. PDN (100% Power C4)"} {
+		vals := series[name]
+		for i := 1; i < len(vals); i++ {
+			if vals[i] >= vals[i-1] {
+				t.Errorf("%s not decreasing: %v", name, vals)
+				break
+			}
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	fig, err := coarseStudy().Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regular lines: Dense < Sparse < Few.
+	if !(fig.RegularIRPct["Dense"] < fig.RegularIRPct["Sparse"] &&
+		fig.RegularIRPct["Sparse"] < fig.RegularIRPct["Few"]) {
+		t.Errorf("regular ordering violated: %v", fig.RegularIRPct)
+	}
+	// V-S series increase with imbalance until cut off, and more
+	// converters yield uniformly lower noise.
+	for n, vals := range fig.VS {
+		seenNaN := false
+		for i := 1; i < len(vals); i++ {
+			if math.IsNaN(vals[i]) {
+				seenNaN = true
+				continue
+			}
+			if seenNaN {
+				t.Errorf("%d conv: valid point after cutoff", n)
+			}
+			if vals[i] <= vals[i-1] {
+				t.Errorf("%d conv: IR not increasing at %d", n, i)
+			}
+		}
+	}
+	// More converters give lower noise once any meaningful imbalance
+	// exists (at 0% both are within parasitic-current noise of each
+	// other, hence the small tolerance).
+	v2, v8 := fig.VS[2], fig.VS[8]
+	for i := range v2 {
+		if !math.IsNaN(v2[i]) && v2[i] < v8[i]-0.05 {
+			t.Errorf("2 conv/core should never beat 8 conv/core (index %d)", i)
+		}
+	}
+	// The 2-converter series hits the 100 mA limit just above 50%
+	// imbalance (the paper's visible cutoff).
+	if !math.IsNaN(v2[5]) && math.IsNaN(v2[4]) {
+		t.Error("unexpected cutoff position for 2 conv/core")
+	}
+	if !math.IsNaN(v2[6]) {
+		t.Error("2 conv/core must be over limit at 60% imbalance")
+	}
+	if math.IsNaN(v2[3]) {
+		t.Error("2 conv/core must be feasible at 30% imbalance")
+	}
+	// 8 conv/core stays within limits everywhere.
+	for i, v := range v8 {
+		if math.IsNaN(v) {
+			t.Errorf("8 conv/core over limit at index %d", i)
+		}
+	}
+}
+
+func TestFig7MatchesPaperStatistics(t *testing.T) {
+	fig := coarseStudy().Fig7()
+	if len(fig.Rows) != 13 {
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+	if fig.BestCaseApp != "blackscholes" {
+		t.Errorf("best case = %s", fig.BestCaseApp)
+	}
+	if fig.AverageMaxImbalance < 0.60 || fig.AverageMaxImbalance > 0.70 {
+		t.Errorf("average max imbalance = %.3f, want ~0.65", fig.AverageMaxImbalance)
+	}
+	if fig.GlobalMaxImbalance <= 0.90 {
+		t.Errorf("global max imbalance = %.3f, want > 0.90", fig.GlobalMaxImbalance)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	fig, err := coarseStudy().Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every V-S series beats the regular-with-SC baseline wherever valid,
+	// and efficiency decreases with imbalance and with converter count.
+	for n, vals := range fig.VS {
+		prev := 2.0
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v <= fig.RegularSC[i] {
+				t.Errorf("%d conv at %.0f%%: V-S %.3f <= baseline %.3f",
+					n, 100*fig.Imbalances[i], v, fig.RegularSC[i])
+			}
+			if v >= prev {
+				t.Errorf("%d conv: efficiency not decreasing at index %d", n, i)
+			}
+			prev = v
+		}
+	}
+	for i := range fig.Imbalances {
+		v2, v8 := fig.VS[2][i], fig.VS[8][i]
+		if !math.IsNaN(v2) && v2 <= v8 {
+			t.Errorf("fewer open-loop converters must be more efficient (index %d)", i)
+		}
+	}
+}
+
+func TestThermalCheck(t *testing.T) {
+	tc, err := coarseStudy().Thermal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.MaxLayersUnder100C != 8 {
+		t.Errorf("max layers = %d, want 8 (paper)", tc.MaxLayersUnder100C)
+	}
+	if tc.HotspotAt8Layers >= 100 || tc.HotspotAt8Layers < 80 {
+		t.Errorf("8-layer hotspot = %.1f C", tc.HotspotAt8Layers)
+	}
+}
+
+func TestHeadlinesMatchPaper(t *testing.T) {
+	h, err := coarseStudy().Headlines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.C4GapAt8Layers < 4 || h.C4GapAt8Layers > 6.5 {
+		t.Errorf("C4 gap = %.2f, want ~5 (paper)", h.C4GapAt8Layers)
+	}
+	if h.RegTSVDegradation < 0.70 || h.RegTSVDegradation > 0.90 {
+		t.Errorf("regular TSV degradation = %.2f, want ~0.84", h.RegTSVDegradation)
+	}
+	if h.VSTSVDegradation > 0.10 {
+		t.Errorf("V-S TSV degradation = %.2f, want slight", h.VSTSVDegradation)
+	}
+	if h.TwoLayerRegOverVS <= 1 {
+		t.Errorf("2-layer regular/V-S ratio = %.2f, want > 1", h.TwoLayerRegOverVS)
+	}
+	if h.DeltaIRAt65Pct < 0.3 || h.DeltaIRAt65Pct > 2.0 {
+		t.Errorf("delta IR at 65%% = %.2f%% Vdd, want ~0.75%% (paper)", h.DeltaIRAt65Pct)
+	}
+	if h.CrossoverImbalance < 0.35 || h.CrossoverImbalance > 0.70 {
+		t.Errorf("crossover = %.2f, want ~0.5 (paper)", h.CrossoverImbalance)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	s := coarseStudy()
+	if out := RenderTable1(s.Table1()); !strings.Contains(out, "44.539") {
+		t.Error("Table 1 render missing TSV resistance")
+	}
+	if out := RenderTable2(s.Table2()); !strings.Contains(out, "Dense") || !strings.Contains(out, "6650") {
+		t.Error("Table 2 render incomplete")
+	}
+	fig7 := s.Fig7()
+	if out := RenderFig7(fig7); !strings.Contains(out, "blackscholes") {
+		t.Error("Fig 7 render incomplete")
+	}
+	pts, err := s.Fig3b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := RenderFig3("x", pts, true); !strings.Contains(out, "SimDrop") {
+		t.Error("Fig 3 render incomplete")
+	}
+}
+
+func TestStudyOverrides(t *testing.T) {
+	s := NewStudy()
+	if s.Params.GridNx != 32 {
+		t.Error("default grid should be 32")
+	}
+	s.Coarse()
+	if s.Params.GridNx != 16 {
+		t.Error("Coarse should lower resolution")
+	}
+	if s.MaxLayers != 8 {
+		t.Error("default max layers should be 8")
+	}
+	if got := s.scanLayers(); len(got) != 4 || got[0] != 2 || got[3] != 8 {
+		t.Errorf("scanLayers = %v", got)
+	}
+}

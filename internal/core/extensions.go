@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"voltstack/internal/pdngrid"
+	"voltstack/internal/sc"
+	"voltstack/internal/sched"
+)
+
+// The experiments in this file go beyond the paper's evaluation: they are
+// the extensions the paper motivates but defers (inductive converters,
+// closed-loop control at system level, stack-aware scheduling) plus a
+// transient-noise analysis using the RLC elements VoltSpot models but the
+// paper's noise metric (DC IR drop) does not exercise.
+
+// ---------------------------------------------------- transient extension
+
+// ExtTransientResult compares first-droop transient noise between the
+// equal-area V-S and regular designs under a synchronized load step.
+type ExtTransientResult struct {
+	RegularFirstDroopPct float64
+	VSFirstDroopPct      float64
+	RegularSettledPct    float64
+	VSSettledPct         float64
+	// Decap sensitivity: first droop of the regular PDN at 1x and 4x the
+	// default on-die decap budget.
+	RegularDroop1xPct float64
+	RegularDroop4xPct float64
+}
+
+// ExtTransient runs the load-step comparison on 4-layer stacks (kept
+// moderate so the run stays interactive).
+func (s *Study) ExtTransient() (*ExtTransientResult, error) {
+	const layers = 4
+	tc := pdngrid.DefaultTransient()
+	tc.Steps = 1200
+
+	reg, err := s.RegularPDN(layers, pdngrid.DenseTSV(), 0.5)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := reg.SolveTransient(tc)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := s.VoltageStackedPDN(layers, 8, pdngrid.FewTSV(), 0.5)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := vs.SolveTransient(tc)
+	if err != nil {
+		return nil, err
+	}
+
+	big := tc
+	big.DecapPerArea *= 4
+	rrBig, err := reg.SolveTransient(big)
+	if err != nil {
+		return nil, err
+	}
+
+	return &ExtTransientResult{
+		RegularFirstDroopPct: 100 * rr.WorstDroopFrac,
+		VSFirstDroopPct:      100 * rv.WorstDroopFrac,
+		RegularSettledPct:    100 * rr.FinalDroopFrac,
+		VSSettledPct:         100 * rv.FinalDroopFrac,
+		RegularDroop1xPct:    100 * rr.WorstDroopFrac,
+		RegularDroop4xPct:    100 * rrBig.WorstDroopFrac,
+	}, nil
+}
+
+// RenderExtTransient formats the transient extension.
+func RenderExtTransient(r *ExtTransientResult) string {
+	var b strings.Builder
+	b.WriteString("Extension: transient (RLC) load-step noise, 4-layer stacks, equal-area designs\n")
+	fmt.Fprintf(&b, "  regular PDN first droop: %.2f%% Vdd (%.2f%% at window end, still ringing)\n",
+		r.RegularFirstDroopPct, r.RegularSettledPct)
+	fmt.Fprintf(&b, "  V-S PDN first droop:     %.2f%% Vdd (%.2f%% at window end)\n",
+		r.VSFirstDroopPct, r.VSSettledPct)
+	fmt.Fprintf(&b, "  -> charge recycling cuts the Ldi/dt kick: the stack's off-chip current step is ~1/N\n")
+	fmt.Fprintf(&b, "  regular droop at 1x / 4x on-die decap: %.2f%% / %.2f%% Vdd\n",
+		r.RegularDroop1xPct, r.RegularDroop4xPct)
+	return b.String()
+}
+
+// ---------------------------------------------------- converter extension
+
+// ExtConverters compares the paper's SC cell against an integrated buck.
+func (s *Study) ExtConverters() []sc.ConverterComparison {
+	return sc.CompareWithBuck(s.Converter, sc.DefaultBuck28nm(), sc.OpenLoop{},
+		[]float64{10, 30, 50, 70, 90})
+}
+
+// RenderExtConverters formats the SC-vs-buck comparison.
+func RenderExtConverters(rows []sc.ConverterComparison) string {
+	var b strings.Builder
+	b.WriteString("Extension: SC cell vs. fully integrated buck (paper future work; Steyaert survey)\n")
+	b.WriteString("  Load(mA)  SC eff  Buck eff\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %8.0f %6.1f%% %8.1f%%\n", r.LoadMA, 100*r.SCEff, 100*r.BuckEff)
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "  area per converter: SC (trench) %.3f mm², buck %.3f mm² (%.0fx)\n",
+			rows[0].SCAreaMM2, rows[0].BuckAreaMM2, rows[0].BuckAreaMM2/rows[0].SCAreaMM2)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------- scheduling extension
+
+// ExtSchedulingResult quantifies the paper's closing suggestion: placing
+// similar jobs in the same core stack reduces imbalance and with it the
+// stress on the SC converters. (Interestingly, chip-level max IR drop is
+// only mildly affected by random placement — uncorrelated per-stack
+// mismatches cancel laterally across the die — but the *per-converter*
+// current, which sets the converter allocation and its 100 mA rating, is
+// driven entirely by the worst stack.)
+type SchedPolicyResult struct {
+	Policy        string
+	MeanImbalance float64 // mean adjacent-layer dynamic imbalance
+	MaxIRPct      float64
+	MaxConvMA     float64
+	OverLimit     bool
+}
+
+// ExtSchedulingResult compares scheduling policies on the lean
+// 2-converter-per-core V-S design.
+type ExtSchedulingResult struct {
+	Policies []SchedPolicyResult
+}
+
+// ExtScheduling assigns a mixed Parsec batch to the 8-layer stack under
+// three policies — random, stack-aware (similar jobs per vertical column)
+// and layer-banded (similar jobs per layer) — and solves the V-S PDN
+// under each. A lean 2-converter allocation shows how much scheduling
+// relaxes the converter provisioning.
+func (s *Study) ExtScheduling() (*ExtSchedulingResult, error) {
+	layers := s.MaxLayers
+	cores := s.Chip.NumCores()
+	jobs := sched.JobsFromSuite(s.Workloads(), layers*cores, s.Seed)
+
+	type policy struct {
+		name  string
+		build func() (*sched.Assignment, error)
+	}
+	policies := []policy{
+		{"random", func() (*sched.Assignment, error) { return sched.Random(jobs, layers, cores, s.Seed+1) }},
+		{"stack-aware", func() (*sched.Assignment, error) { return sched.StackAware(jobs, layers, cores) }},
+		{"layer-banded", func() (*sched.Assignment, error) { return sched.LayerBanded(jobs, layers, cores) }},
+	}
+
+	p, err := s.VoltageStackedPDN(layers, 2, pdngrid.FewTSV(), 0.5)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExtSchedulingResult{}
+	for _, pol := range policies {
+		a, err := pol.build()
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.Solve(a.Activities())
+		if err != nil {
+			return nil, err
+		}
+		res.Policies = append(res.Policies, SchedPolicyResult{
+			Policy:        pol.name,
+			MeanImbalance: a.MeanStackImbalance(),
+			MaxIRPct:      100 * r.MaxIRDropFrac,
+			MaxConvMA:     1000 * r.MaxConverterCurrent,
+			OverLimit:     r.OverLimit,
+		})
+	}
+	return res, nil
+}
+
+// RenderExtScheduling formats the scheduling extension.
+func RenderExtScheduling(r *ExtSchedulingResult) string {
+	var b strings.Builder
+	b.WriteString("Extension: core-stack-aware scheduling (paper Sec. 5.2 suggestion), 8-layer V-S PDN, 2 conv/core\n")
+	b.WriteString("  policy        mean adj-layer imb   max IR drop   worst converter\n")
+	for _, p := range r.Policies {
+		status := ""
+		if p.OverLimit {
+			status = "  OVER RATING"
+		}
+		fmt.Fprintf(&b, "  %-13s %16.0f%% %12.2f%% %13.1f mA%s\n",
+			p.Policy, 100*p.MeanImbalance, p.MaxIRPct, p.MaxConvMA, status)
+	}
+	b.WriteString("  -> stack-aware placement (similar jobs per vertical column) minimizes converter\n")
+	b.WriteString("     stress, confirming the paper's suggestion. layer-banded placement is a\n")
+	b.WriteString("     cautionary result: a coherent vertical activity gradient makes every\n")
+	b.WriteString("     mismatch push the intermediate rails the same way, so offsets accumulate\n")
+	b.WriteString("     across the stack — far worse than random even with smaller per-pair imbalance\n")
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RenderTable1 formats Table 1 as paper-style rows.
+func RenderTable1(rows []ParamRow) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Major PDN modeling parameters\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-46s %s\n", r.Name, r.Value)
+	}
+	return b.String()
+}
+
+// RenderTable2 formats the TSV topology table.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: TSV configurations\n")
+	b.WriteString("  Topology  EffPitch(um)  TSVs/core  AreaOverhead\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %12.0f %10d %12.1f%%\n", r.Name, r.EffPitchUM, r.TSVsPerCore, r.OverheadPct)
+	}
+	return b.String()
+}
+
+// RenderFig3 formats a converter-validation sweep.
+func RenderFig3(title string, pts []Fig3Point, withDrop bool) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	if withDrop {
+		b.WriteString("  Load(mA)  ModelEff  SimEff  ModelDrop(mV)  SimDrop(mV)\n")
+		for _, p := range pts {
+			fmt.Fprintf(&b, "  %8.1f %8.1f%% %6.1f%% %13.1f %12.1f\n",
+				p.LoadMA, 100*p.ModelEff, 100*p.SimEff, p.ModelDropMV, p.SimDropMV)
+		}
+	} else {
+		b.WriteString("  Load(mA)  ModelEff  SimEff\n")
+		for _, p := range pts {
+			fmt.Fprintf(&b, "  %8.1f %8.1f%% %6.1f%%\n", p.LoadMA, 100*p.ModelEff, 100*p.SimEff)
+		}
+	}
+	return b.String()
+}
+
+// RenderFig5 formats an EM lifetime figure.
+func RenderFig5(title string, f *Fig5) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "  %-28s", "Series \\ Layers")
+	for _, l := range f.Layers {
+		fmt.Fprintf(&b, "%8d", l)
+	}
+	b.WriteString("\n")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %-28s", s.Label)
+		for _, v := range s.Values {
+			fmt.Fprintf(&b, "%8.2f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFig6 formats the voltage-noise evaluation.
+func RenderFig6(f *Fig6) string {
+	var b strings.Builder
+	b.WriteString("Fig. 6: Max on-chip IR drop (% Vdd) vs. workload imbalance, 8-layer V-S PDN (Few TSV)\n")
+	fmt.Fprintf(&b, "  %-18s", "Imbalance")
+	for _, imb := range f.Imbalances {
+		fmt.Fprintf(&b, "%7.0f%%", 100*imb)
+	}
+	b.WriteString("\n")
+	var counts []int
+	for n := range f.VS {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	for _, n := range counts {
+		fmt.Fprintf(&b, "  %-18s", fmt.Sprintf("V-S %d conv/core", n))
+		for _, v := range f.VS[n] {
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "%8s", "--")
+			} else {
+				fmt.Fprintf(&b, "%8.2f", v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	var names []string
+	for name := range f.RegularIRPct {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "  Reg. PDN %-7s (all layers active): %.2f%% Vdd\n", name, f.RegularIRPct[name])
+	}
+	b.WriteString("  (-- marks points dropped for exceeding the 100 mA converter limit)\n")
+	return b.String()
+}
+
+// RenderFig7 formats the workload box-plot data.
+func RenderFig7(f *Fig7) string {
+	var b strings.Builder
+	b.WriteString("Fig. 7: Workload distributions across Parsec applications (activity factor)\n")
+	b.WriteString("  Application     Min    Q1     Med    Q3     Max   MaxImb\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %-14s %5.3f  %5.3f  %5.3f  %5.3f  %5.3f  %5.1f%%\n",
+			r.App, r.Stats.Min, r.Stats.Q1, r.Stats.Median, r.Stats.Q3, r.Stats.Max, 100*r.MaxImbalance)
+	}
+	fmt.Fprintf(&b, "  best-case app: %s; average max-imbalance: %.0f%%; global max: %.0f%%\n",
+		f.BestCaseApp, 100*f.AverageMaxImbalance, 100*f.GlobalMaxImbalance)
+	return b.String()
+}
+
+// RenderFig8 formats the efficiency evaluation.
+func RenderFig8(f *Fig8) string {
+	var b strings.Builder
+	b.WriteString("Fig. 8: System power efficiency vs. workload imbalance, 8-layer stack\n")
+	fmt.Fprintf(&b, "  %-22s", "Imbalance")
+	for _, imb := range f.Imbalances {
+		fmt.Fprintf(&b, "%7.0f%%", 100*imb)
+	}
+	b.WriteString("\n")
+	var counts []int
+	for n := range f.VS {
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	for _, n := range counts {
+		fmt.Fprintf(&b, "  %-22s", fmt.Sprintf("V-S PDN, %d conv/core", n))
+		for _, v := range f.VS[n] {
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "%8s", "--")
+			} else {
+				fmt.Fprintf(&b, "%7.1f%%", 100*v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  %-22s", "Reg. PDN + SC (all)")
+	for _, v := range f.RegularSC {
+		fmt.Fprintf(&b, "%7.1f%%", 100*v)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderThermal formats the stack feasibility check.
+func RenderThermal(tc *ThermalCheck) string {
+	return fmt.Sprintf("Thermal feasibility (HotSpot-lite, air cooling):\n"+
+		"  hotspot at 8 layers: %.1f C\n  max layers under 100 C: %d\n",
+		tc.HotspotAt8Layers, tc.MaxLayersUnder100C)
+}
+
+// RenderHeadlines formats the paper's summary claims.
+func RenderHeadlines(h *Headlines) string {
+	var b strings.Builder
+	b.WriteString("Headline claims (paper vs. this model):\n")
+	fmt.Fprintf(&b, "  C4 lifetime gap V-S vs. regular at 8 layers: %.1fx (paper: up to 5x)\n", h.C4GapAt8Layers)
+	fmt.Fprintf(&b, "  regular Few-TSV lifetime lost 2->8 layers:   %.0f%% (paper: up to 84%%)\n", 100*h.RegTSVDegradation)
+	fmt.Fprintf(&b, "  V-S TSV lifetime lost 2->8 layers:           %.0f%% (paper: slight)\n", 100*h.VSTSVDegradation)
+	fmt.Fprintf(&b, "  2-layer regular/V-S TSV lifetime ratio:      %.2f (paper: > 1, through-via effect)\n", h.TwoLayerRegOverVS)
+	fmt.Fprintf(&b, "  V-S excess IR drop at 65%% imbalance:         %.2f%% Vdd (paper: 0.75%%)\n", h.DeltaIRAt65Pct)
+	fmt.Fprintf(&b, "  V-S beats equal-area regular PDN below:      %.0f%% imbalance (paper: ~50%%)\n", 100*h.CrossoverImbalance)
+	return b.String()
+}

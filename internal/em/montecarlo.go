@@ -1,0 +1,51 @@
+package em
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SimulateMedianLifetime estimates the group's expected EM-damage-free
+// lifetime by Monte Carlo instead of the analytic CDF product: each trial
+// draws one lognormal lifetime per conductor and records the earliest
+// failure; the estimate is the median of those minima. It exists as an
+// independent cross-check of MedianLifetime (the two converge as trials
+// grow) and as the starting point for failure analyses the closed form
+// cannot express (correlated wearout, replacement policies).
+//
+// Unstressed conductors (infinite medians) never fail and are skipped.
+// Deterministic in (group, trials, seed).
+func (g *Group) SimulateMedianLifetime(trials int, seed int64) (float64, error) {
+	finite := make([]float64, 0, len(g.t50s))
+	for _, t := range g.t50s {
+		if !math.IsInf(t, 1) {
+			finite = append(finite, t)
+		}
+	}
+	if len(finite) == 0 {
+		return 0, ErrEmptyGroup
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	minima := make([]float64, trials)
+	for tr := range minima {
+		first := math.Inf(1)
+		for _, t50 := range finite {
+			// Lognormal draw: t = t50 · exp(σ·Z).
+			t := t50 * math.Exp(g.sigma*rng.NormFloat64())
+			if t < first {
+				first = t
+			}
+		}
+		minima[tr] = first
+	}
+	sort.Float64s(minima)
+	mid := len(minima) / 2
+	if len(minima)%2 == 1 {
+		return minima[mid], nil
+	}
+	return (minima[mid-1] + minima[mid]) / 2, nil
+}

@@ -1,0 +1,107 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"voltstack/internal/units"
+)
+
+func TestMonteCarloMatchesAnalyticSingle(t *testing.T) {
+	g := NewGroup(0.4)
+	g.AddT50(1000)
+	analytic, err := g.MedianLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := g.SimulateMedianLifetime(20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.WithinRel(mc, analytic, 0.03) {
+		t.Errorf("MC %g vs analytic %g", mc, analytic)
+	}
+}
+
+func TestMonteCarloMatchesAnalyticGroup(t *testing.T) {
+	// A realistic pad-array-like group: a spread of medians.
+	g := NewGroup(0.4)
+	for i := 0; i < 200; i++ {
+		g.AddT50(500 + 10*float64(i))
+	}
+	analytic, err := g.MedianLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := g.SimulateMedianLifetime(20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.WithinRel(mc, analytic, 0.05) {
+		t.Errorf("MC %g vs analytic %g disagree beyond 5%%", mc, analytic)
+	}
+}
+
+func TestMonteCarloSkipsUnstressed(t *testing.T) {
+	g := NewGroup(0.4)
+	g.AddT50(800)
+	g.AddT50(math.Inf(1))
+	mc, err := g.SimulateMedianLifetime(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.WithinRel(mc, 800, 0.05) {
+		t.Errorf("MC %g, want ~800", mc)
+	}
+}
+
+func TestMonteCarloEmptyGroup(t *testing.T) {
+	g := NewGroup(0.4)
+	if _, err := g.SimulateMedianLifetime(100, 1); err == nil {
+		t.Error("empty group should error")
+	}
+	g.AddT50(math.Inf(1))
+	if _, err := g.SimulateMedianLifetime(100, 1); err == nil {
+		t.Error("unstressed-only group should error")
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	g := NewGroup(0.3)
+	for _, v := range []float64{10, 20, 30} {
+		g.AddT50(v)
+	}
+	a, _ := g.SimulateMedianLifetime(1000, 42)
+	b, _ := g.SimulateMedianLifetime(1000, 42)
+	if a != b {
+		t.Error("same seed must reproduce")
+	}
+	c, _ := g.SimulateMedianLifetime(1000, 43)
+	if a == c {
+		t.Error("different seed should differ")
+	}
+}
+
+func TestMonteCarloWeakestLinkOrdering(t *testing.T) {
+	small := NewGroup(0.4)
+	large := NewGroup(0.4)
+	for i := 0; i < 4; i++ {
+		small.AddT50(1000)
+	}
+	for i := 0; i < 256; i++ {
+		large.AddT50(1000)
+	}
+	ms, _ := small.SimulateMedianLifetime(4000, 5)
+	ml, _ := large.SimulateMedianLifetime(4000, 5)
+	if ml >= ms {
+		t.Errorf("larger group should fail sooner: %g vs %g", ml, ms)
+	}
+}
+
+func TestMonteCarloMinimumTrials(t *testing.T) {
+	g := NewGroup(0.4)
+	g.AddT50(100)
+	if _, err := g.SimulateMedianLifetime(0, 1); err != nil {
+		t.Errorf("zero trials should clamp to one: %v", err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package explore is the design-space exploration layer the paper's
+// toolchain exists to enable: it enumerates PDN design scenarios (PDN
+// kind, TSV topology, pad allocation, converter count), evaluates each
+// one's cost/benefit metrics with the cross-layer models, and extracts
+// the Pareto-efficient set.
+package explore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"voltstack/internal/em"
+	"voltstack/internal/pdngrid"
+	"voltstack/internal/power"
+	"voltstack/internal/sc"
+	"voltstack/internal/units"
+)
+
+// Design is one point in the PDN design space.
+type Design struct {
+	Kind              pdngrid.Kind
+	TSV               pdngrid.TSVTopology
+	PadPowerFraction  float64
+	ConvertersPerCore int // VoltageStacked only
+}
+
+// Name renders a short design label.
+func (d Design) Name() string {
+	if d.Kind == pdngrid.VoltageStacked {
+		return fmt.Sprintf("V-S/%s/%dconv/%.0f%%pads", d.TSV.Name, d.ConvertersPerCore, 100*d.PadPowerFraction)
+	}
+	return fmt.Sprintf("Reg/%s/%.0f%%pads", d.TSV.Name, 100*d.PadPowerFraction)
+}
+
+// Metrics are the evaluated costs and benefits of a design.
+type Metrics struct {
+	Design Design
+
+	AreaOverheadPct float64 // silicon cost per layer, % of layer area
+	MaxIRDropPct    float64 // noise at the evaluation imbalance, % Vdd
+	Efficiency      float64 // delivery efficiency at the evaluation point
+	TSVLifetime     float64 // normalized EM lifetime of the TSV array
+	C4Lifetime      float64 // normalized EM lifetime of the pad array
+	OffChipCurrentA float64 // board-side current draw
+	PowerPads       int     // C4 pads consumed for power (fewer frees I/O)
+	Feasible        bool    // converter ratings respected
+}
+
+// Space describes the enumeration.
+type Space struct {
+	Layers    int
+	Chip      *power.Chip
+	Params    pdngrid.Params
+	Converter sc.Params
+	EMTsv     em.BlackParams
+	EMC4      em.BlackParams
+
+	// Imbalance is the workload point used for noise/efficiency (the
+	// application average by default).
+	Imbalance float64
+
+	PadFractions   []float64
+	ConverterCount []int
+	TSVs           []pdngrid.TSVTopology
+}
+
+// DefaultSpace enumerates the paper's axes at the application-average
+// imbalance on the deepest stack.
+func DefaultSpace() Space {
+	conv := sc.Default28nm()
+	conv.Cap = sc.Trench
+	return Space{
+		Layers:         8,
+		Chip:           power.Example16Core(),
+		Params:         pdngrid.DefaultParams(),
+		Converter:      conv,
+		EMTsv:          em.DefaultTSV(),
+		EMC4:           em.DefaultC4(),
+		Imbalance:      0.65,
+		PadFractions:   []float64{0.25, 0.5, 1.0},
+		ConverterCount: []int{2, 4, 6, 8},
+		TSVs:           []pdngrid.TSVTopology{pdngrid.DenseTSV(), pdngrid.SparseTSV(), pdngrid.FewTSV()},
+	}
+}
+
+// Designs enumerates every design point of the space.
+func (s Space) Designs() []Design {
+	var out []Design
+	for _, tsv := range s.TSVs {
+		for _, pf := range s.PadFractions {
+			out = append(out, Design{Kind: pdngrid.Regular, TSV: tsv, PadPowerFraction: pf})
+			for _, nc := range s.ConverterCount {
+				out = append(out, Design{
+					Kind:              pdngrid.VoltageStacked,
+					TSV:               tsv,
+					PadPowerFraction:  pf,
+					ConvertersPerCore: nc,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate computes the metrics of one design. Lifetimes are normalized
+// by the caller (Run normalizes to the best value in the space).
+func (s Space) Evaluate(d Design) (*Metrics, error) {
+	cfg := pdngrid.Config{
+		Kind:              d.Kind,
+		Layers:            s.Layers,
+		Chip:              s.Chip,
+		Params:            s.Params,
+		TSV:               d.TSV,
+		PadPowerFraction:  d.PadPowerFraction,
+		ConvertersPerCore: d.ConvertersPerCore,
+		Converter:         s.Converter,
+	}
+	p, err := pdngrid.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cores := s.Chip.NumCores()
+	var acts [][]float64
+	if d.Kind == pdngrid.VoltageStacked {
+		acts = pdngrid.InterleavedActivities(s.Layers, cores, s.Imbalance)
+	} else {
+		acts = pdngrid.UniformActivities(s.Layers, cores, 1) // worst case
+	}
+	r, err := p.Solve(acts)
+	if err != nil {
+		return nil, err
+	}
+	// EM evaluation always uses the all-active point.
+	rEM := r
+	if d.Kind == pdngrid.VoltageStacked {
+		if rEM, err = p.Solve(pdngrid.UniformActivities(s.Layers, cores, 1)); err != nil {
+			return nil, err
+		}
+	}
+	tempK := units.CelsiusToKelvin(s.Params.TempCelsius)
+	life := func(currents []float64, bp em.BlackParams) (float64, error) {
+		g := em.NewGroup(bp.SigmaLog)
+		for _, c := range currents {
+			g.AddConductor(bp, c, tempK)
+		}
+		return g.MedianLifetime()
+	}
+	tsvLife, err := life(rEM.TSVCurrents, s.EMTsv)
+	if err != nil {
+		return nil, err
+	}
+	c4Life, err := life(rEM.PadCurrents, s.EMC4)
+	if err != nil {
+		return nil, err
+	}
+	return &Metrics{
+		Design:          d,
+		AreaOverheadPct: 100 * p.AreaOverheadFrac(),
+		MaxIRDropPct:    100 * r.MaxIRDropFrac,
+		Efficiency:      r.Efficiency,
+		TSVLifetime:     tsvLife,
+		C4Lifetime:      c4Life,
+		OffChipCurrentA: offChipCurrent(r, cfg),
+		PowerPads:       p.NumPowerPads(),
+		Feasible:        !r.OverLimit,
+	}, nil
+}
+
+func offChipCurrent(r *pdngrid.Result, cfg pdngrid.Config) float64 {
+	rail := cfg.Params.Vdd
+	if cfg.Kind == pdngrid.VoltageStacked {
+		rail *= float64(cfg.Layers)
+	}
+	return r.InputPower / rail
+}
+
+// Result is an evaluated design space.
+type Result struct {
+	Points []*Metrics // every feasible design, lifetimes normalized to the max
+	// Pareto marks the Pareto-efficient subset of Points (indices).
+	Pareto []int
+	// Dropped counts designs discarded for violating converter ratings.
+	Dropped int
+}
+
+// Run evaluates the whole space and extracts the Pareto set over
+// (area↓, noise↓, efficiency↑, TSV lifetime↑, C4 lifetime↑, power pads↓ —
+// the last being the paper's pads-freed-for-I/O argument).
+func (s Space) Run() (*Result, error) {
+	res := &Result{}
+	var maxTSV, maxC4 float64
+	for _, d := range s.Designs() {
+		m, err := s.Evaluate(d)
+		if err != nil {
+			return nil, fmt.Errorf("explore: %s: %v", d.Name(), err)
+		}
+		if !m.Feasible {
+			res.Dropped++
+			continue
+		}
+		res.Points = append(res.Points, m)
+		maxTSV = math.Max(maxTSV, m.TSVLifetime)
+		maxC4 = math.Max(maxC4, m.C4Lifetime)
+	}
+	for _, m := range res.Points {
+		if maxTSV > 0 {
+			m.TSVLifetime /= maxTSV
+		}
+		if maxC4 > 0 {
+			m.C4Lifetime /= maxC4
+		}
+	}
+	res.Pareto = paretoSet(res.Points)
+	return res, nil
+}
+
+// dominates reports whether a is at least as good as b on every objective
+// and strictly better on at least one.
+func dominates(a, b *Metrics) bool {
+	geq := a.AreaOverheadPct <= b.AreaOverheadPct &&
+		a.MaxIRDropPct <= b.MaxIRDropPct &&
+		a.Efficiency >= b.Efficiency &&
+		a.TSVLifetime >= b.TSVLifetime &&
+		a.C4Lifetime >= b.C4Lifetime &&
+		a.PowerPads <= b.PowerPads
+	if !geq {
+		return false
+	}
+	return a.AreaOverheadPct < b.AreaOverheadPct ||
+		a.MaxIRDropPct < b.MaxIRDropPct ||
+		a.Efficiency > b.Efficiency ||
+		a.TSVLifetime > b.TSVLifetime ||
+		a.C4Lifetime > b.C4Lifetime ||
+		a.PowerPads < b.PowerPads
+}
+
+func paretoSet(points []*Metrics) []int {
+	var out []int
+	for i, a := range points {
+		dominated := false
+		for j, b := range points {
+			if i != j && dominates(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		return points[out[x]].AreaOverheadPct < points[out[y]].AreaOverheadPct
+	})
+	return out
+}

@@ -1,0 +1,179 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"voltstack/internal/pdngrid"
+)
+
+// smallSpace keeps tests fast: coarse mesh, fewer axes.
+func smallSpace() Space {
+	s := DefaultSpace()
+	s.Params.GridNx, s.Params.GridNy = 16, 16
+	s.PadFractions = []float64{0.5}
+	s.ConverterCount = []int{2, 8}
+	s.TSVs = []pdngrid.TSVTopology{pdngrid.DenseTSV(), pdngrid.FewTSV()}
+	return s
+}
+
+func TestDesignEnumeration(t *testing.T) {
+	s := smallSpace()
+	designs := s.Designs()
+	// 2 TSVs x 1 fraction x (1 regular + 2 V-S) = 6.
+	if len(designs) != 6 {
+		t.Fatalf("designs = %d, want 6", len(designs))
+	}
+	names := map[string]bool{}
+	for _, d := range designs {
+		if names[d.Name()] {
+			t.Errorf("duplicate design %s", d.Name())
+		}
+		names[d.Name()] = true
+	}
+}
+
+func TestDesignNames(t *testing.T) {
+	d := Design{Kind: pdngrid.Regular, TSV: pdngrid.DenseTSV(), PadPowerFraction: 0.25}
+	if got := d.Name(); !strings.Contains(got, "Reg/Dense") || !strings.Contains(got, "25%") {
+		t.Errorf("name = %q", got)
+	}
+	v := Design{Kind: pdngrid.VoltageStacked, TSV: pdngrid.FewTSV(), PadPowerFraction: 1, ConvertersPerCore: 8}
+	if got := v.Name(); !strings.Contains(got, "V-S/Few/8conv") {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestEvaluateSingleDesign(t *testing.T) {
+	s := smallSpace()
+	m, err := s.Evaluate(Design{
+		Kind:              pdngrid.VoltageStacked,
+		TSV:               pdngrid.FewTSV(),
+		PadPowerFraction:  0.5,
+		ConvertersPerCore: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Feasible {
+		t.Error("8 conv/core at 65% should be feasible")
+	}
+	if m.MaxIRDropPct <= 0 || m.MaxIRDropPct > 20 {
+		t.Errorf("noise = %g", m.MaxIRDropPct)
+	}
+	if m.Efficiency <= 0 || m.Efficiency >= 1 {
+		t.Errorf("efficiency = %g", m.Efficiency)
+	}
+	if m.AreaOverheadPct < 20 {
+		t.Errorf("8 converters + Few TSV should cost ~24%% area, got %g", m.AreaOverheadPct)
+	}
+	if m.OffChipCurrentA <= 0 || m.OffChipCurrentA > 20 {
+		t.Errorf("off-chip current = %g A (stacked should be ~8 A)", m.OffChipCurrentA)
+	}
+}
+
+func TestRunSpace(t *testing.T) {
+	s := smallSpace()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if len(res.Pareto) == 0 || len(res.Pareto) > len(res.Points) {
+		t.Fatalf("pareto size = %d of %d", len(res.Pareto), len(res.Points))
+	}
+	// Lifetimes are normalized to 1 at the best design.
+	var maxTSV, maxC4 float64
+	for _, m := range res.Points {
+		if m.TSVLifetime > maxTSV {
+			maxTSV = m.TSVLifetime
+		}
+		if m.C4Lifetime > maxC4 {
+			maxC4 = m.C4Lifetime
+		}
+	}
+	if maxTSV != 1 || maxC4 != 1 {
+		t.Errorf("normalization failed: max lifetimes %g, %g", maxTSV, maxC4)
+	}
+	// No point in the Pareto set is dominated by any other point.
+	for _, pi := range res.Pareto {
+		for j, b := range res.Points {
+			if j != pi && dominates(b, res.Points[pi]) {
+				t.Errorf("pareto member %s dominated by %s",
+					res.Points[pi].Design.Name(), b.Design.Name())
+			}
+		}
+	}
+}
+
+func TestVSOnParetoFront(t *testing.T) {
+	// The paper's thesis in DSE form: at least one voltage-stacked design
+	// must be Pareto-efficient (its lifetime and off-chip-current wins
+	// cannot all be matched by regular designs).
+	res, err := smallSpace().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundVS := false
+	for _, pi := range res.Pareto {
+		if res.Points[pi].Design.Kind == pdngrid.VoltageStacked {
+			foundVS = true
+			break
+		}
+	}
+	if !foundVS {
+		t.Error("no V-S design on the Pareto front")
+	}
+}
+
+func TestInfeasibleDesignsDropped(t *testing.T) {
+	// 2 conv/core at 100% imbalance violates the converter rating.
+	s := smallSpace()
+	s.Imbalance = 1.0
+	s.ConverterCount = []int{2}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("expected infeasible designs to be dropped at 100% imbalance")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := &Metrics{AreaOverheadPct: 1, MaxIRDropPct: 1, Efficiency: 0.9, TSVLifetime: 1, C4Lifetime: 1}
+	b := &Metrics{AreaOverheadPct: 2, MaxIRDropPct: 2, Efficiency: 0.8, TSVLifetime: 0.5, C4Lifetime: 0.5}
+	if !dominates(a, b) || dominates(b, a) {
+		t.Error("clear domination not detected")
+	}
+	// Equal points do not dominate each other.
+	if dominates(a, a) {
+		t.Error("a point must not dominate itself (no strict improvement)")
+	}
+	// Trade-off points: neither dominates.
+	c := &Metrics{AreaOverheadPct: 0.5, MaxIRDropPct: 3, Efficiency: 0.9, TSVLifetime: 1, C4Lifetime: 1}
+	if dominates(a, c) || dominates(c, a) {
+		t.Error("trade-off points should be incomparable")
+	}
+}
+
+func TestLowPadVSOnFront(t *testing.T) {
+	// With pads as an objective, a V-S design with a small power-pad
+	// allocation must appear on the front: it frees pads for I/O at
+	// near-unchanged lifetime, the paper's Sec. 5.1 argument.
+	s := smallSpace()
+	s.PadFractions = []float64{0.25, 1.0}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pi := range res.Pareto {
+		m := res.Points[pi]
+		if m.Design.Kind == pdngrid.VoltageStacked && m.Design.PadPowerFraction <= 0.25 {
+			return
+		}
+	}
+	t.Error("no low-pad V-S design on the Pareto front")
+}

@@ -1,0 +1,243 @@
+// Package floorplan is a small pre-RTL floorplanner in the spirit of ArchFP
+// (Faust et al., VLSI-SoC 2012), which the paper uses to generate the
+// processor floorplan. It places architectural units by recursive slicing
+// (area-proportional guillotine cuts), tiles core floorplans across a die,
+// and rasterizes block power densities onto the PDN grid.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle (meters). X, Y is the lower-left corner.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Area returns W*H.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Contains reports whether the point lies inside the rectangle
+// (inclusive of the lower/left edges, exclusive of the upper/right).
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H
+}
+
+// OverlapArea returns the area of the intersection of r and o.
+func (r Rect) OverlapArea(o Rect) float64 {
+	w := math.Min(r.X+r.W, o.X+o.W) - math.Max(r.X, o.X)
+	h := math.Min(r.Y+r.H, o.Y+o.H) - math.Max(r.Y, o.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() (x, y float64) { return r.X + r.W/2, r.Y + r.H/2 }
+
+// Unit is a named unit to be placed, with an area share relative to the
+// total of its sibling units.
+type Unit struct {
+	Name      string
+	AreaShare float64
+}
+
+// Block is a placed unit.
+type Block struct {
+	Name string
+	Rect Rect
+}
+
+// Slice places units into die by recursive area-proportional guillotine
+// cuts, always cutting perpendicular to the longer side to keep aspect
+// ratios reasonable. Unit order is preserved left-to-right/bottom-to-top.
+func Slice(die Rect, units []Unit) ([]Block, error) {
+	if len(units) == 0 {
+		return nil, fmt.Errorf("floorplan: no units to place")
+	}
+	var total float64
+	for _, u := range units {
+		if u.AreaShare <= 0 {
+			return nil, fmt.Errorf("floorplan: unit %q has non-positive area share %g", u.Name, u.AreaShare)
+		}
+		total += u.AreaShare
+	}
+	if die.W <= 0 || die.H <= 0 {
+		return nil, fmt.Errorf("floorplan: degenerate die %+v", die)
+	}
+	blocks := make([]Block, 0, len(units))
+	slice(die, units, total, &blocks)
+	return blocks, nil
+}
+
+func slice(r Rect, units []Unit, total float64, out *[]Block) {
+	if len(units) == 1 {
+		*out = append(*out, Block{Name: units[0].Name, Rect: r})
+		return
+	}
+	// Split the unit list at the point closest to half the total area.
+	var acc float64
+	split := 1
+	best := math.Inf(1)
+	run := 0.0
+	for i := 0; i < len(units)-1; i++ {
+		run += units[i].AreaShare
+		if d := math.Abs(run - total/2); d < best {
+			best = d
+			split = i + 1
+			acc = run
+		}
+	}
+	frac := acc / total
+	var r1, r2 Rect
+	if r.W >= r.H {
+		r1 = Rect{r.X, r.Y, r.W * frac, r.H}
+		r2 = Rect{r.X + r.W*frac, r.Y, r.W * (1 - frac), r.H}
+	} else {
+		r1 = Rect{r.X, r.Y, r.W, r.H * frac}
+		r2 = Rect{r.X, r.Y + r.H*frac, r.W, r.H * (1 - frac)}
+	}
+	slice(r1, units[:split], acc, out)
+	slice(r2, units[split:], total-acc, out)
+}
+
+// Floorplan is a placed die: core tiles, each containing unit blocks.
+type Floorplan struct {
+	Die    Rect
+	Blocks []Block // all unit blocks, names prefixed by their tile
+	Tiles  []Rect  // the per-core outlines, row-major from bottom-left
+}
+
+// Tile replicates the prototype unit list into rows x cols identical core
+// tiles covering the die. Block names become "<prefix><index>.<unit>" with
+// index = row*cols+col.
+func Tile(die Rect, rows, cols int, proto []Unit, prefix string) (*Floorplan, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("floorplan: invalid tiling %dx%d", rows, cols)
+	}
+	fp := &Floorplan{Die: die}
+	tw := die.W / float64(cols)
+	th := die.H / float64(rows)
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			tile := Rect{die.X + float64(col)*tw, die.Y + float64(row)*th, tw, th}
+			fp.Tiles = append(fp.Tiles, tile)
+			blocks, err := Slice(tile, proto)
+			if err != nil {
+				return nil, err
+			}
+			idx := row*cols + col
+			for _, b := range blocks {
+				b.Name = fmt.Sprintf("%s%d.%s", prefix, idx, b.Name)
+				fp.Blocks = append(fp.Blocks, b)
+			}
+		}
+	}
+	return fp, nil
+}
+
+// TileOf returns the index of the tile containing (x, y), or -1.
+func (f *Floorplan) TileOf(x, y float64) int {
+	for i, t := range f.Tiles {
+		if t.Contains(x, y) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Raster maps block-level quantities onto a uniform nx x ny grid over a die.
+type Raster struct {
+	Nx, Ny int
+	Die    Rect
+}
+
+// NewRaster returns a raster over die with the given resolution.
+func NewRaster(die Rect, nx, ny int) Raster {
+	if nx <= 0 || ny <= 0 {
+		panic(fmt.Sprintf("floorplan: invalid raster %dx%d", nx, ny))
+	}
+	return Raster{Nx: nx, Ny: ny, Die: die}
+}
+
+// CellRect returns the rectangle of cell (ix, iy).
+func (r Raster) CellRect(ix, iy int) Rect {
+	cw := r.Die.W / float64(r.Nx)
+	ch := r.Die.H / float64(r.Ny)
+	return Rect{r.Die.X + float64(ix)*cw, r.Die.Y + float64(iy)*ch, cw, ch}
+}
+
+// CellOf returns the cell indices containing point (x, y), clamped to the
+// grid bounds.
+func (r Raster) CellOf(x, y float64) (ix, iy int) {
+	ix = int((x - r.Die.X) / r.Die.W * float64(r.Nx))
+	iy = int((y - r.Die.Y) / r.Die.H * float64(r.Ny))
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= r.Nx {
+		ix = r.Nx - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= r.Ny {
+		iy = r.Ny - 1
+	}
+	return ix, iy
+}
+
+// Index returns the linear (row-major) index of cell (ix, iy).
+func (r Raster) Index(ix, iy int) int { return iy*r.Nx + ix }
+
+// Distribute spreads each block's value uniformly over its rectangle and
+// integrates it into the raster cells by overlap area. values[i] is the
+// total quantity (e.g. watts) of blocks[i]; the returned per-cell slice
+// (length Nx*Ny, row-major) sums to the total of values for blocks fully
+// inside the die.
+func (r Raster) Distribute(blocks []Block, values []float64) ([]float64, error) {
+	if len(blocks) != len(values) {
+		return nil, fmt.Errorf("floorplan: %d blocks but %d values", len(blocks), len(values))
+	}
+	out := make([]float64, r.Nx*r.Ny)
+	cw := r.Die.W / float64(r.Nx)
+	ch := r.Die.H / float64(r.Ny)
+	for bi, b := range blocks {
+		if values[bi] == 0 {
+			continue
+		}
+		area := b.Rect.Area()
+		if area <= 0 {
+			return nil, fmt.Errorf("floorplan: block %q has zero area", b.Name)
+		}
+		density := values[bi] / area
+		// Cell index range overlapped by the block.
+		ix0 := int(math.Floor((b.Rect.X - r.Die.X) / cw))
+		ix1 := int(math.Ceil((b.Rect.X + b.Rect.W - r.Die.X) / cw))
+		iy0 := int(math.Floor((b.Rect.Y - r.Die.Y) / ch))
+		iy1 := int(math.Ceil((b.Rect.Y + b.Rect.H - r.Die.Y) / ch))
+		if ix0 < 0 {
+			ix0 = 0
+		}
+		if iy0 < 0 {
+			iy0 = 0
+		}
+		if ix1 > r.Nx {
+			ix1 = r.Nx
+		}
+		if iy1 > r.Ny {
+			iy1 = r.Ny
+		}
+		for iy := iy0; iy < iy1; iy++ {
+			for ix := ix0; ix < ix1; ix++ {
+				ov := r.CellRect(ix, iy).OverlapArea(b.Rect)
+				if ov > 0 {
+					out[r.Index(ix, iy)] += density * ov
+				}
+			}
+		}
+	}
+	return out, nil
+}

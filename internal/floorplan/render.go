@@ -1,0 +1,43 @@
+package floorplan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the floorplan as an ASCII grid: each character cell is
+// labeled with the glyph of the block covering its center. Blocks are
+// assigned glyphs in order (a-z, A-Z, 0-9, cycling).
+func (f *Floorplan) Render(cols, rows int) string {
+	if cols <= 0 || rows <= 0 || len(f.Blocks) == 0 {
+		return "floorplan: nothing to render\n"
+	}
+	const glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	var b strings.Builder
+	for r := rows - 1; r >= 0; r-- { // chip coordinates: y up
+		for c := 0; c < cols; c++ {
+			x := f.Die.X + (float64(c)+0.5)*f.Die.W/float64(cols)
+			y := f.Die.Y + (float64(r)+0.5)*f.Die.H/float64(rows)
+			g := byte('.')
+			for i, blk := range f.Blocks {
+				if blk.Rect.Contains(x, y) {
+					g = glyphs[i%len(glyphs)]
+					break
+				}
+			}
+			b.WriteByte(g)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Legend lists the glyph assignment used by Render.
+func (f *Floorplan) Legend() string {
+	const glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	var b strings.Builder
+	for i, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%c = %s\n", glyphs[i%len(glyphs)], blk.Name)
+	}
+	return b.String()
+}

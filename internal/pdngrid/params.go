@@ -1,0 +1,149 @@
+// Package pdngrid is the system-level 3D-IC power-delivery-network model at
+// the heart of the paper: a VoltSpot-style pre-RTL grid model extended to
+// many-layer stacks, supporting both the regular (parallel) PDN of Fig. 4a
+// and the charge-recycled voltage-stacked (V-S) PDN of Fig. 4b.
+//
+// Each silicon layer carries a Vdd mesh and a ground mesh of resistive
+// segments; loads are ideal current sources between the two meshes of
+// their layer (the VoltSpot load model); C4 pads tie the bottom meshes to
+// the board rails; TSV arrays connect meshes vertically; in the V-S
+// configuration, layer i's ground mesh is TSV-connected to layer i-1's
+// Vdd mesh, the top Vdd mesh is fed at N·Vdd through one through-via per
+// Vdd pad, and push-pull SC converters regulate every intermediate rail.
+//
+// Solving the network yields on-chip IR drop, per-pad and per-TSV currents
+// (the inputs to the EM lifetime model), converter operating points, and
+// system power efficiency.
+package pdngrid
+
+import (
+	"fmt"
+	"math"
+
+	"voltstack/internal/units"
+)
+
+// Params holds the PDN modeling parameters of the paper's Table 1 plus the
+// mesh discretization.
+type Params struct {
+	PadPitch    float64 // C4 pad pitch (m)
+	PadR        float64 // single C4 pad resistance (Ω)
+	TSVR        float64 // single TSV resistance (Ω)
+	TSVDiameter float64 // TSV diameter (m)
+	TSVMinPitch float64 // minimum TSV pitch (m)
+	TSVKoZSide  float64 // keep-out-zone side length (m)
+
+	// PkgR is the lumped package/board resistance between the voltage
+	// regulator module and the C4 pad array, per supply polarity (the
+	// current loop sees twice this value). This is the component that
+	// penalizes the regular PDN's N-fold off-chip current.
+	PkgR float64
+
+	// GridRSeg is the lateral resistance of one mesh segment of the
+	// on-chip power grid at the default 32x32 discretization; it is scaled
+	// with resolution so coarser/finer meshes model the same metal.
+	GridRSeg    float64
+	GridNx      int // mesh columns
+	GridNy      int // mesh rows
+	RefNx       int // resolution at which GridRSeg is specified
+	Vdd         float64
+	TempCelsius float64 // uniform die temperature for EM evaluation
+
+	// TSV current crowding for EM: of a cluster of m TSVs sharing one mesh
+	// cell, only about Coef·m^Exp effectively carry the cluster's vertical
+	// current — the rest are shielded by the lateral spreading resistance
+	// of the local metal. This sub-linear utilization reproduces the
+	// paper's observation that adding more TSVs improves the regular
+	// PDN's EM lifetime only marginally. Coef <= 0 disables crowding.
+	TSVCrowdCoef float64
+	TSVCrowdExp  float64
+}
+
+// DefaultParams returns Table 1 of the paper plus calibrated mesh values.
+func DefaultParams() Params {
+	return Params{
+		PadPitch:     200 * units.Micrometer,
+		PadR:         10 * units.Milliohm,
+		TSVR:         44.539 * units.Milliohm,
+		TSVDiameter:  5 * units.Micrometer,
+		TSVMinPitch:  10 * units.Micrometer,
+		TSVKoZSide:   9.88 * units.Micrometer,
+		PkgR:         0.35 * units.Milliohm,
+		GridRSeg:     0.040,
+		GridNx:       32,
+		GridNy:       32,
+		RefNx:        32,
+		Vdd:          1.0,
+		TempCelsius:  85,
+		TSVCrowdCoef: 2.0,
+		TSVCrowdExp:  0.2,
+	}
+}
+
+// CrowdEff returns the effective number of TSVs of an m-TSV cluster that
+// carry its current, per the crowding model.
+func (p Params) CrowdEff(m int) int {
+	if p.TSVCrowdCoef <= 0 || m <= 1 {
+		return m
+	}
+	eff := int(math.Round(p.TSVCrowdCoef * math.Pow(float64(m), p.TSVCrowdExp)))
+	if eff < 1 {
+		eff = 1
+	}
+	if eff > m {
+		eff = m
+	}
+	return eff
+}
+
+// SegR returns the mesh segment resistance at the configured resolution:
+// halving the cell size halves the per-segment resistance (same metal).
+func (p Params) SegR() float64 {
+	if p.RefNx <= 0 {
+		return p.GridRSeg
+	}
+	return p.GridRSeg * float64(p.RefNx) / float64(p.GridNx)
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.PadPitch <= 0 || p.PadR <= 0:
+		return fmt.Errorf("pdngrid: invalid pad parameters")
+	case p.TSVR <= 0 || p.TSVKoZSide <= 0:
+		return fmt.Errorf("pdngrid: invalid TSV parameters")
+	case p.GridRSeg <= 0 || p.GridNx < 2 || p.GridNy < 2:
+		return fmt.Errorf("pdngrid: invalid mesh parameters")
+	case p.Vdd <= 0:
+		return fmt.Errorf("pdngrid: invalid Vdd")
+	}
+	return nil
+}
+
+// TSVTopology is one of the paper's Table 2 TSV allocation scenarios.
+// PerCore counts power-delivery TSVs per core (Vdd plus ground).
+type TSVTopology struct {
+	Name     string
+	PerCore  int
+	EffPitch float64 // effective pitch (m), reported in Table 2
+}
+
+// The three Table 2 design points.
+func DenseTSV() TSVTopology {
+	return TSVTopology{Name: "Dense", PerCore: 6650, EffPitch: 20 * units.Micrometer}
+}
+func SparseTSV() TSVTopology {
+	return TSVTopology{Name: "Sparse", PerCore: 1675, EffPitch: 40 * units.Micrometer}
+}
+func FewTSV() TSVTopology {
+	return TSVTopology{Name: "Few", PerCore: 110, EffPitch: 240 * units.Micrometer}
+}
+
+// AreaOverheadFrac returns the fraction of core area consumed by the
+// topology's keep-out zones (Table 2's "Total Area Overhead").
+func (t TSVTopology) AreaOverheadFrac(coreArea, kozSide float64) float64 {
+	return float64(t.PerCore) * kozSide * kozSide / coreArea
+}
+
+// VddPerCore returns the number of Vdd TSVs per core (half the total).
+func (t TSVTopology) VddPerCore() int { return t.PerCore / 2 }

@@ -1,0 +1,62 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// AlphaPowerModel is Sakurai's alpha-power delay model: the maximum clock
+// frequency at supply v scales as (v − Vt)^Alpha / v. It converts a PDN's
+// voltage droop into the two costs a designer can pay for it — a raised
+// supply (power) or a slowed clock (performance).
+type AlphaPowerModel struct {
+	Vt    float64 // threshold voltage (V)
+	Alpha float64 // velocity-saturation exponent (≈1.3 in short channel)
+}
+
+// DefaultAlphaPower returns typical 40 nm values.
+func DefaultAlphaPower() AlphaPowerModel {
+	return AlphaPowerModel{Vt: 0.35, Alpha: 1.3}
+}
+
+// Validate checks the model parameters.
+func (m AlphaPowerModel) Validate() error {
+	if m.Vt <= 0 || m.Alpha <= 0 {
+		return fmt.Errorf("power: invalid alpha-power model %+v", m)
+	}
+	return nil
+}
+
+// FreqScale returns fmax(v)/fmax(vnom); v must exceed Vt.
+func (m AlphaPowerModel) FreqScale(v, vnom float64) float64 {
+	if v <= m.Vt || vnom <= m.Vt {
+		return 0
+	}
+	f := func(x float64) float64 { return math.Pow(x-m.Vt, m.Alpha) / x }
+	return f(v) / f(vnom)
+}
+
+// FrequencyLossFrac returns the fraction of clock frequency given up when
+// the worst-case supply dips to vnom·(1−droopFrac) and the design slows
+// its clock to stay correct.
+func (m AlphaPowerModel) FrequencyLossFrac(droopFrac, vnom float64) float64 {
+	v := vnom * (1 - droopFrac)
+	return 1 - m.FreqScale(v, vnom)
+}
+
+// SupplyRaiseFrac returns the fractional supply increase that restores
+// the worst-case device voltage to vnom under a droop of droopFrac:
+// Vdd' = vnom/(1−droop).
+func SupplyRaiseFrac(droopFrac float64) float64 {
+	if droopFrac >= 1 {
+		return math.Inf(1)
+	}
+	return 1/(1-droopFrac) - 1
+}
+
+// PowerOverheadFrac returns the dynamic-power overhead of that supply
+// raise (dynamic power scales as V²).
+func PowerOverheadFrac(droopFrac float64) float64 {
+	r := 1 + SupplyRaiseFrac(droopFrac)
+	return r*r - 1
+}

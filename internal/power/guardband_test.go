@@ -1,0 +1,89 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"voltstack/internal/units"
+)
+
+func TestAlphaPowerNominal(t *testing.T) {
+	m := DefaultAlphaPower()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FreqScale(1.0, 1.0); !units.WithinRel(got, 1, 1e-12) {
+		t.Errorf("FreqScale(nominal) = %g", got)
+	}
+	bad := AlphaPowerModel{}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero model not caught")
+	}
+}
+
+func TestAlphaPowerMonotone(t *testing.T) {
+	m := DefaultAlphaPower()
+	prev := 0.0
+	for _, v := range []float64{0.5, 0.7, 0.9, 1.0, 1.1} {
+		s := m.FreqScale(v, 1.0)
+		if s <= prev {
+			t.Fatalf("frequency must grow with voltage: %g at %g", s, v)
+		}
+		prev = s
+	}
+	// Below threshold nothing switches.
+	if m.FreqScale(0.3, 1.0) != 0 {
+		t.Error("sub-threshold should give zero frequency")
+	}
+}
+
+func TestFrequencyLossSensitivity(t *testing.T) {
+	m := DefaultAlphaPower()
+	// Near threshold the alpha-power model amplifies droop: a 5% supply
+	// dip costs more than 5% of frequency at Vt=0.35, alpha=1.3.
+	loss := m.FrequencyLossFrac(0.05, 1.0)
+	if loss <= 0.05 {
+		t.Errorf("5%% droop should cost more than 5%% frequency, got %g", loss)
+	}
+	if m.FrequencyLossFrac(0, 1.0) != 0 {
+		t.Error("zero droop should cost nothing")
+	}
+}
+
+func TestSupplyRaiseAndPowerOverhead(t *testing.T) {
+	// 5% droop: raise Vdd by 1/0.95 - 1 ≈ 5.26%; power overhead = r²-1.
+	raise := SupplyRaiseFrac(0.05)
+	if !units.WithinRel(raise, 1/0.95-1, 1e-12) {
+		t.Errorf("raise = %g", raise)
+	}
+	over := PowerOverheadFrac(0.05)
+	if !units.WithinRel(over, (1/0.95)*(1/0.95)-1, 1e-12) {
+		t.Errorf("overhead = %g", over)
+	}
+	if !math.IsInf(SupplyRaiseFrac(1), 1) {
+		t.Error("total droop should need infinite supply")
+	}
+}
+
+func TestGuardbandProperties(t *testing.T) {
+	m := DefaultAlphaPower()
+	f := func(raw float64) bool {
+		d := math.Abs(math.Mod(raw, 0.5)) // droop in [0, 0.5)
+		fl := m.FrequencyLossFrac(d, 1.0)
+		po := PowerOverheadFrac(d)
+		return fl >= 0 && fl <= 1 && po >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// Both costs are monotone in droop.
+	prevF, prevP := -1.0, -1.0
+	for _, d := range []float64{0, 0.02, 0.05, 0.1, 0.2} {
+		fl, po := m.FrequencyLossFrac(d, 1.0), PowerOverheadFrac(d)
+		if fl < prevF || po < prevP {
+			t.Fatalf("guardband costs must be monotone at droop %g", d)
+		}
+		prevF, prevP = fl, po
+	}
+}

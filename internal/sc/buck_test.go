@@ -1,0 +1,139 @@
+package sc
+
+import (
+	"math"
+	"testing"
+
+	"voltstack/internal/units"
+)
+
+func TestBuckDefaultsValid(t *testing.T) {
+	if err := DefaultBuck28nm().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuckValidation(t *testing.T) {
+	muts := []func(*BuckParams){
+		func(b *BuckParams) { b.L = 0 },
+		func(b *BuckParams) { b.FSw = -1 },
+		func(b *BuckParams) { b.RdsOn = -1 },
+		func(b *BuckParams) { b.InductorDensity = 0 },
+		func(b *BuckParams) { b.MaxLoad = 0 },
+	}
+	for i, m := range muts {
+		b := DefaultBuck28nm()
+		m(&b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestBuckRippleFormula(t *testing.T) {
+	b := DefaultBuck28nm()
+	// ΔI = Vout(1-D)/(L·f) with D = 0.5, Vout = 1 V.
+	want := 1.0 * 0.5 / (b.L * b.FSw)
+	if got := b.RippleCurrent(2, 1); !units.WithinRel(got, want, 1e-12) {
+		t.Errorf("ripple = %g, want %g", got, want)
+	}
+	// Degenerate conversions ripple nothing.
+	if b.RippleCurrent(0, 1) != 0 || b.RippleCurrent(1, 2) != 0 {
+		t.Error("degenerate ripple should be zero")
+	}
+	// Bigger inductance, less ripple.
+	b2 := b
+	b2.L *= 4
+	if b2.RippleCurrent(2, 1) >= b.RippleCurrent(2, 1) {
+		t.Error("ripple should shrink with L")
+	}
+}
+
+func TestBuckEvaluateBasics(t *testing.T) {
+	b := DefaultBuck28nm()
+	op := b.Evaluate(2.0, 0.05)
+	if !units.WithinRel(op.VNoLoad, 1.0, 1e-12) {
+		t.Errorf("VNoLoad = %g", op.VNoLoad)
+	}
+	if op.Efficiency <= 0 || op.Efficiency >= 1 {
+		t.Errorf("efficiency = %g", op.Efficiency)
+	}
+	if op.VOut >= op.VNoLoad {
+		t.Error("loaded output should droop")
+	}
+	// Power bookkeeping is self-consistent.
+	if !units.WithinRel(op.POut/(op.POut+op.PCond+op.PParasitic), op.Efficiency, 1e-12) {
+		t.Error("efficiency bookkeeping mismatch")
+	}
+}
+
+func TestBuckAreaDominatedByInductor(t *testing.T) {
+	b := DefaultBuck28nm()
+	sc := Default28nm()
+	sc.Cap = Trench
+	// The integrated inductor is orders of magnitude less area-efficient
+	// than trench capacitors: the paper's motivation for SC converters.
+	if ratio := b.Area() / sc.Area(); ratio < 10 {
+		t.Errorf("buck/SC area ratio = %g, expected >> 1", ratio)
+	}
+}
+
+func TestBuckOverLimit(t *testing.T) {
+	b := DefaultBuck28nm()
+	if b.OverLimit(0.1) || !b.OverLimit(0.11) {
+		t.Error("limit check wrong")
+	}
+}
+
+func TestCompareWithBuckShape(t *testing.T) {
+	scp := Default28nm()
+	scp.Cap = Trench
+	buck := DefaultBuck28nm()
+	rows := CompareWithBuck(scp, buck, OpenLoop{}, []float64{10, 30, 50, 70, 90})
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SCEff <= 0 || r.SCEff >= 1 || r.BuckEff <= 0 || r.BuckEff >= 1 {
+			t.Fatalf("efficiencies out of range at %g mA: %+v", r.LoadMA, r)
+		}
+		if r.BuckAreaMM2 <= r.SCAreaMM2 {
+			t.Errorf("buck area %g should exceed SC area %g", r.BuckAreaMM2, r.SCAreaMM2)
+		}
+	}
+	// At moderate-to-heavy load, the SC cell with high-density caps beats
+	// the lossy integrated inductor (the Steyaert-survey conclusion).
+	heavy := rows[len(rows)-1]
+	if heavy.SCEff <= heavy.BuckEff {
+		t.Errorf("at %g mA: SC %g should beat buck %g", heavy.LoadMA, heavy.SCEff, heavy.BuckEff)
+	}
+}
+
+func TestBuckSinkingSymmetry(t *testing.T) {
+	b := DefaultBuck28nm()
+	src := b.Evaluate(2.0, 0.05)
+	sink := b.Evaluate(2.0, -0.05)
+	if !units.WithinRel(src.PCond, sink.PCond, 1e-9) {
+		t.Error("conduction loss must depend on |I|")
+	}
+	if sink.POut >= 0 {
+		t.Error("sinking delivers negative output power")
+	}
+}
+
+func TestBuckEfficiencyPeaksMidLoad(t *testing.T) {
+	// Fixed switching loss dominates at light load, conduction at heavy:
+	// efficiency peaks somewhere in between and both ends are lower.
+	b := DefaultBuck28nm()
+	var effs []float64
+	for _, il := range []float64{0.005, 0.02, 0.05, 0.08, 0.1} {
+		effs = append(effs, b.Evaluate(2.0, il).Efficiency)
+	}
+	peak := 0.0
+	for _, e := range effs {
+		peak = math.Max(peak, e)
+	}
+	if peak <= effs[0] || peak < effs[len(effs)-1] {
+		t.Errorf("efficiency profile not peaked: %v", effs)
+	}
+}

@@ -1,0 +1,173 @@
+package sc
+
+import (
+	"fmt"
+
+	"voltstack/internal/sparse"
+)
+
+// Ladder models the paper's scalable multi-output extension of the 2:1
+// push-pull cell for many-layer stacks: one cell per intermediate rail,
+// cell k spanning rails (k-1, k+1) with its output on rail k. Rails are
+// numbered 0 (stack ground) through Layers (stack top).
+type Ladder struct {
+	Layers int    // number of stacked loads (≥ 2)
+	Cell   Params // the per-cell converter design
+}
+
+// NewLadder builds a ladder for an N-layer stack. N must be at least 2.
+func NewLadder(layers int, cell Params) (*Ladder, error) {
+	if layers < 2 {
+		return nil, fmt.Errorf("sc: ladder needs at least 2 layers, got %d", layers)
+	}
+	if err := cell.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ladder{Layers: layers, Cell: cell}, nil
+}
+
+// NumCells returns the number of converter cells (one per intermediate rail).
+func (l *Ladder) NumCells() int { return l.Layers - 1 }
+
+// TotalArea returns the silicon area of all cells.
+func (l *Ladder) TotalArea() float64 {
+	return float64(l.NumCells()) * l.Cell.Area()
+}
+
+// NoLoadVoltages returns the ideal rail voltages [V0..VN] of an unloaded
+// ladder fed with vTop at rail N and 0 at rail 0: a uniform division.
+func (l *Ladder) NoLoadVoltages(vTop float64) []float64 {
+	v := make([]float64, l.Layers+1)
+	for i := range v {
+		v[i] = vTop * float64(i) / float64(l.Layers)
+	}
+	return v
+}
+
+// CellCurrents solves the idealized (zero rail resistance) ladder for the
+// output current each cell must deliver, given the per-layer load currents
+// loads[0..N-1] (layer i draws loads[i] between rails i+1 and i).
+//
+// KCL at intermediate rail k (k = 1..N-1): the load above injects
+// loads[k], the load below draws loads[k-1], cell k delivers J[k], and the
+// neighbouring cells at k-1 and k+1 each draw J/2 from rail k:
+//
+//	loads[k] - loads[k-1] + J[k] - J[k-1]/2 - J[k+1]/2 = 0
+//
+// The resulting tridiagonal system is solved densely (N is small).
+// The returned slice is indexed by cell (rail) number 1..N-1 at positions
+// 0..N-2.
+func (l *Ladder) CellCurrents(loads []float64) ([]float64, error) {
+	n := l.Layers
+	if len(loads) != n {
+		return nil, fmt.Errorf("sc: need %d per-layer loads, got %d", n, len(loads))
+	}
+	m := n - 1 // unknown cell currents
+	a := sparse.NewDense(m)
+	rhs := make([]float64, m)
+	for k := 1; k <= m; k++ {
+		row := k - 1
+		a.Add(row, row, 1)
+		if k-1 >= 1 {
+			a.Add(row, row-1, -0.5)
+		}
+		if k+1 <= m {
+			a.Add(row, row+1, -0.5)
+		}
+		rhs[row] = loads[k-1] - loads[k]
+	}
+	lu, err := a.LU()
+	if err != nil {
+		return nil, fmt.Errorf("sc: ladder system singular: %v", err)
+	}
+	return lu.Solve(rhs), nil
+}
+
+// MaxCellCurrent returns the largest |J| over the cells for the given
+// per-layer loads, the quantity checked against the 100 mA cell limit.
+func (l *Ladder) MaxCellCurrent(loads []float64) (float64, error) {
+	j, err := l.CellCurrents(loads)
+	if err != nil {
+		return 0, err
+	}
+	var m float64
+	for _, v := range j {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m, nil
+}
+
+// InputCurrent returns the current drawn from the stack top rail in the
+// idealized ladder: the top load current plus half the top cell's output.
+func (l *Ladder) InputCurrent(loads []float64) (float64, error) {
+	j, err := l.CellCurrents(loads)
+	if err != nil {
+		return 0, err
+	}
+	iin := loads[l.Layers-1]
+	if len(j) > 0 {
+		iin += j[len(j)-1] / 2
+	}
+	return iin, nil
+}
+
+// Evaluate computes the aggregate operating state of the ladder for the
+// given per-layer load currents and control policy: every cell is
+// evaluated at its own output current, and the results are combined into
+// stack-level efficiency and worst-case drop.
+func (l *Ladder) Evaluate(loads []float64, ctrl Control, vdd float64) (LadderOperatingPoint, error) {
+	j, err := l.CellCurrents(loads)
+	if err != nil {
+		return LadderOperatingPoint{}, err
+	}
+	var op LadderOperatingPoint
+	op.CellCurrents = j
+	var pComp, pLoss float64
+	for _, ji := range j {
+		cell := Evaluate(l.Cell, ctrl, 2*vdd, ji)
+		if a := abs(ji); a > op.MaxCellCurrent {
+			op.MaxCellCurrent = a
+		}
+		if cell.VDrop > op.MaxVDrop {
+			op.MaxVDrop = cell.VDrop
+		}
+		pComp += abs(cell.POut)
+		pLoss += cell.PCond + cell.PParasitic
+		if l.Cell.OverLimit(ji) {
+			op.OverLimit = true
+		}
+	}
+	var pLoad float64
+	for _, i := range loads {
+		pLoad += i * vdd
+	}
+	op.CompensationPower = pComp
+	op.LossPower = pLoss
+	if pLoad+pLoss > 0 {
+		op.Efficiency = pLoad / (pLoad + pLoss)
+	}
+	return op, nil
+}
+
+// LadderOperatingPoint summarizes an Evaluate call.
+type LadderOperatingPoint struct {
+	CellCurrents      []float64
+	MaxCellCurrent    float64
+	MaxVDrop          float64 // worst cell output drop (V)
+	CompensationPower float64 // power shuttled by the cells (W)
+	LossPower         float64 // converter losses (W)
+	Efficiency        float64 // load power / (load power + losses)
+	OverLimit         bool
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

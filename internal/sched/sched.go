@@ -1,0 +1,187 @@
+// Package sched implements core-stack-aware workload scheduling for
+// voltage-stacked 3D processors. The paper's Sec. 5.2 observes that
+// intra-application power variance is much smaller than cross-application
+// variance and concludes that "by scheduling different instances of the
+// same application, or different threads from the same instance onto the
+// cores in the same core-stack, we can reduce the workload-imbalance and
+// a V-S PDN's noise." This package quantifies that claim: it assigns a
+// mixed batch of jobs to the (layer, core) slots of a stack either
+// randomly or stack-aware, and reports the resulting adjacent-layer
+// imbalance, which feeds directly into the PDN noise model.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"voltstack/internal/workload"
+)
+
+// Job is one schedulable workload instance: an application plus the
+// activity level of the sampled execution phase.
+type Job struct {
+	App      string
+	Activity float64
+}
+
+// JobsFromSuite draws one job per slot from the synthetic Parsec suite,
+// cycling through applications and sampling each job's activity from its
+// application's distribution. Deterministic in (suite, n, seed).
+func JobsFromSuite(suite workload.Suite, n int, seed int64) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]Job, n)
+	for i := range jobs {
+		pop := suite[i%len(suite)]
+		jobs[i] = Job{
+			App:      pop.App.Name,
+			Activity: pop.Acts[rng.Intn(len(pop.Acts))],
+		}
+	}
+	return jobs
+}
+
+// Assignment maps jobs onto the (layer, core) slots of a stack.
+type Assignment struct {
+	Layers, Cores int
+	// Act[layer][core] is the assigned job's activity.
+	Act [][]float64
+	// Jobs[layer][core] is the assigned job's application name.
+	Jobs [][]string
+}
+
+func newAssignment(layers, cores int) *Assignment {
+	a := &Assignment{Layers: layers, Cores: cores}
+	a.Act = make([][]float64, layers)
+	a.Jobs = make([][]string, layers)
+	for l := range a.Act {
+		a.Act[l] = make([]float64, cores)
+		a.Jobs[l] = make([]string, cores)
+	}
+	return a
+}
+
+func checkJobCount(jobs []Job, layers, cores int) error {
+	if layers < 1 || cores < 1 {
+		return fmt.Errorf("sched: invalid stack %dx%d", layers, cores)
+	}
+	if len(jobs) != layers*cores {
+		return fmt.Errorf("sched: need %d jobs for a %dx%d stack, got %d",
+			layers*cores, layers, cores, len(jobs))
+	}
+	return nil
+}
+
+// Random assigns jobs to slots in a uniformly random permutation — the
+// scheduling-oblivious baseline.
+func Random(jobs []Job, layers, cores int, seed int64) (*Assignment, error) {
+	if err := checkJobCount(jobs, layers, cores); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(jobs))
+	a := newAssignment(layers, cores)
+	for slot, ji := range perm {
+		l, c := slot/cores, slot%cores
+		a.Act[l][c] = jobs[ji].Activity
+		a.Jobs[l][c] = jobs[ji].App
+	}
+	return a, nil
+}
+
+// StackAware sorts jobs by activity and fills each core stack (a vertical
+// column of layers) with consecutive jobs, so the layers sharing a stack
+// run at similar power — the paper's proposed policy.
+func StackAware(jobs []Job, layers, cores int) (*Assignment, error) {
+	if err := checkJobCount(jobs, layers, cores); err != nil {
+		return nil, err
+	}
+	sorted := append([]Job(nil), jobs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Activity < sorted[j].Activity })
+	a := newAssignment(layers, cores)
+	for c := 0; c < cores; c++ {
+		for l := 0; l < layers; l++ {
+			j := sorted[c*layers+l]
+			a.Act[l][c] = j.Activity
+			a.Jobs[l][c] = j.App
+		}
+	}
+	return a, nil
+}
+
+// LayerBanded sorts jobs by activity and assigns each consecutive band of
+// `cores` jobs to one layer, low bands at the bottom. Adjacent layers then
+// hold neighbouring activity bands, so each pair's mismatch is small —
+// but every mismatch has the SAME SIGN, forming a coherent vertical
+// gradient. In a voltage stack this is the worst arrangement: same-sign
+// differential currents push every intermediate rail the same way and the
+// offsets accumulate across the stack. The policy is provided as the
+// cautionary counterpoint to StackAware (see the scheduling experiment).
+func LayerBanded(jobs []Job, layers, cores int) (*Assignment, error) {
+	if err := checkJobCount(jobs, layers, cores); err != nil {
+		return nil, err
+	}
+	sorted := append([]Job(nil), jobs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Activity < sorted[j].Activity })
+	a := newAssignment(layers, cores)
+	for l := 0; l < layers; l++ {
+		for c := 0; c < cores; c++ {
+			j := sorted[l*cores+c]
+			a.Act[l][c] = j.Activity
+			a.Jobs[l][c] = j.App
+		}
+	}
+	return a, nil
+}
+
+// stackPairImbalance returns the dynamic imbalance between two activities
+// in the paper's sense: 1 − min/max.
+func stackPairImbalance(a, b float64) float64 {
+	hi := math.Max(a, b)
+	lo := math.Min(a, b)
+	if hi == 0 {
+		return 0
+	}
+	return 1 - lo/hi
+}
+
+// MaxStackImbalance returns the worst adjacent-layer imbalance over all
+// core stacks — the quantity that stresses the SC converters hardest.
+func (a *Assignment) MaxStackImbalance() float64 {
+	var worst float64
+	for c := 0; c < a.Cores; c++ {
+		for l := 1; l < a.Layers; l++ {
+			if imb := stackPairImbalance(a.Act[l][c], a.Act[l-1][c]); imb > worst {
+				worst = imb
+			}
+		}
+	}
+	return worst
+}
+
+// MeanStackImbalance returns the average adjacent-layer imbalance.
+func (a *Assignment) MeanStackImbalance() float64 {
+	var sum float64
+	n := 0
+	for c := 0; c < a.Cores; c++ {
+		for l := 1; l < a.Layers; l++ {
+			sum += stackPairImbalance(a.Act[l][c], a.Act[l-1][c])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Activities returns the assignment in the layers x cores matrix form the
+// PDN solver consumes.
+func (a *Assignment) Activities() [][]float64 {
+	out := make([][]float64, a.Layers)
+	for l := range out {
+		out[l] = append([]float64(nil), a.Act[l]...)
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"voltstack/internal/workload"
+)
+
+func testJobs(n int) []Job {
+	suite := workload.DefaultSuite(1)
+	return JobsFromSuite(suite, n, 7)
+}
+
+func TestJobsFromSuiteDeterministic(t *testing.T) {
+	suite := workload.DefaultSuite(1)
+	a := JobsFromSuite(suite, 32, 5)
+	b := JobsFromSuite(suite, 32, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	c := JobsFromSuite(suite, 32, 6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestJobsCycleApps(t *testing.T) {
+	suite := workload.DefaultSuite(1)
+	jobs := JobsFromSuite(suite, 26, 3)
+	if jobs[0].App != suite[0].App.Name || jobs[13].App != suite[0].App.Name {
+		t.Error("apps should cycle")
+	}
+	for _, j := range jobs {
+		if j.Activity <= 0 || j.Activity > 1 {
+			t.Errorf("activity %g out of range", j.Activity)
+		}
+	}
+}
+
+func TestJobCountValidation(t *testing.T) {
+	jobs := testJobs(10)
+	if _, err := Random(jobs, 4, 4, 1); err == nil {
+		t.Error("wrong count not caught")
+	}
+	if _, err := StackAware(jobs, 0, 4); err == nil {
+		t.Error("invalid stack not caught")
+	}
+}
+
+func TestAssignmentsPreserveJobs(t *testing.T) {
+	jobs := testJobs(32)
+	for name, build := range map[string]func() (*Assignment, error){
+		"random":     func() (*Assignment, error) { return Random(jobs, 4, 8, 3) },
+		"stackaware": func() (*Assignment, error) { return StackAware(jobs, 4, 8) },
+	} {
+		a, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want float64
+		for _, j := range jobs {
+			want += j.Activity
+		}
+		for l := 0; l < a.Layers; l++ {
+			for c := 0; c < a.Cores; c++ {
+				got += a.Act[l][c]
+				if a.Jobs[l][c] == "" {
+					t.Errorf("%s: empty slot %d,%d", name, l, c)
+				}
+			}
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: total activity %g, want %g (jobs lost)", name, got, want)
+		}
+	}
+}
+
+func TestStackAwareBeatsRandom(t *testing.T) {
+	// The paper's claim: stack-aware placement reduces adjacent-layer
+	// imbalance. Check across several job batches.
+	suite := workload.DefaultSuite(1)
+	for seed := int64(0); seed < 5; seed++ {
+		jobs := JobsFromSuite(suite, 8*16, seed)
+		rnd, err := Random(jobs, 8, 16, seed+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aware, err := StackAware(jobs, 8, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aware.MeanStackImbalance() >= rnd.MeanStackImbalance() {
+			t.Errorf("seed %d: stack-aware mean %g should beat random %g",
+				seed, aware.MeanStackImbalance(), rnd.MeanStackImbalance())
+		}
+		if aware.MaxStackImbalance() >= rnd.MaxStackImbalance() {
+			t.Errorf("seed %d: stack-aware max %g should beat random %g",
+				seed, aware.MaxStackImbalance(), rnd.MaxStackImbalance())
+		}
+	}
+}
+
+func TestUniformJobsZeroImbalance(t *testing.T) {
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{App: "x", Activity: 0.5}
+	}
+	a, err := StackAware(jobs, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxStackImbalance() != 0 || a.MeanStackImbalance() != 0 {
+		t.Error("identical jobs must have zero imbalance")
+	}
+}
+
+func TestImbalanceMetricsBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		suite := workload.DefaultSuite(1)
+		jobs := JobsFromSuite(suite, 24, seed)
+		a, err := Random(jobs, 4, 6, seed)
+		if err != nil {
+			return false
+		}
+		mx, mn := a.MaxStackImbalance(), a.MeanStackImbalance()
+		return mx >= 0 && mx <= 1 && mn >= 0 && mn <= mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActivitiesMatrixShape(t *testing.T) {
+	jobs := testJobs(12)
+	a, err := StackAware(jobs, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := a.Activities()
+	if len(acts) != 3 || len(acts[0]) != 4 {
+		t.Fatalf("shape %dx%d", len(acts), len(acts[0]))
+	}
+	// Mutation safety: the returned matrix is a copy.
+	acts[0][0] = -5
+	if a.Act[0][0] == -5 {
+		t.Error("Activities should return a copy")
+	}
+}
+
+func TestStackAwareColumnsSorted(t *testing.T) {
+	jobs := testJobs(32)
+	a, err := StackAware(jobs, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within each column activities are consecutive in the global sort,
+	// so each column's range is small relative to the global range.
+	var globalMin, globalMax = 2.0, -1.0
+	for _, j := range jobs {
+		globalMin = math.Min(globalMin, j.Activity)
+		globalMax = math.Max(globalMax, j.Activity)
+	}
+	for c := 0; c < a.Cores; c++ {
+		lo, hi := 2.0, -1.0
+		for l := 0; l < a.Layers; l++ {
+			lo = math.Min(lo, a.Act[l][c])
+			hi = math.Max(hi, a.Act[l][c])
+		}
+		if hi-lo > (globalMax-globalMin)/2 {
+			t.Errorf("column %d spans %g of global %g — not stack-aware", c, hi-lo, globalMax-globalMin)
+		}
+	}
+}
+
+func TestLayerBandedLayersHomogeneous(t *testing.T) {
+	jobs := testJobs(32)
+	a, err := LayerBanded(jobs, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every layer holds a consecutive band of the sorted jobs, so the
+	// per-layer spread is small and layer means are non-decreasing.
+	prevMean := -1.0
+	for l := 0; l < a.Layers; l++ {
+		var mean float64
+		for c := 0; c < a.Cores; c++ {
+			mean += a.Act[l][c]
+		}
+		mean /= float64(a.Cores)
+		if mean < prevMean {
+			t.Errorf("layer means should be non-decreasing: layer %d", l)
+		}
+		prevMean = mean
+	}
+}
+
+func TestLayerBandedValidation(t *testing.T) {
+	if _, err := LayerBanded(testJobs(5), 4, 4); err == nil {
+		t.Error("wrong job count not caught")
+	}
+}
+
+func TestLayerBandedImbalanceSmallButCoherent(t *testing.T) {
+	suite := workload.DefaultSuite(1)
+	jobs := JobsFromSuite(suite, 8*16, 3)
+	banded, err := LayerBanded(jobs, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := Random(jobs, 8, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The banded mean adjacent-layer imbalance is below random's...
+	if banded.MeanStackImbalance() >= rnd.MeanStackImbalance() {
+		t.Errorf("banded %g should have smaller mean imbalance than random %g",
+			banded.MeanStackImbalance(), rnd.MeanStackImbalance())
+	}
+	// ...and every adjacent-layer mismatch points the same way (the layer
+	// means are sorted), which is what makes it hazardous in a stack.
+	for c := 0; c < banded.Cores; c++ {
+		for l := 1; l < banded.Layers; l++ {
+			if banded.Act[l][c] < banded.Act[l-1][c]-1e-12 {
+				t.Fatalf("banded activities should be vertically non-decreasing at col %d layer %d", c, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver fails to reach the
+// requested tolerance within its iteration budget.
+var ErrNoConvergence = errors.New("sparse: iterative solver did not converge")
+
+// Preconditioner applies z = M⁻¹ r for some approximation M of A.
+type Preconditioner interface {
+	Apply(r, z []float64)
+}
+
+// IdentityPrec is the trivial preconditioner (plain CG).
+type IdentityPrec struct{}
+
+// Apply copies r into z.
+func (IdentityPrec) Apply(r, z []float64) { copy(z, r) }
+
+// JacobiPrec is the diagonal (Jacobi) preconditioner.
+type JacobiPrec struct {
+	invDiag []float64
+}
+
+// NewJacobi builds a Jacobi preconditioner from the diagonal of a.
+// Zero diagonal entries are treated as 1 to stay defined.
+func NewJacobi(a *CSR) *JacobiPrec {
+	d := a.Diag()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 {
+			inv[i] = 1
+		} else {
+			inv[i] = 1 / v
+		}
+	}
+	return &JacobiPrec{invDiag: inv}
+}
+
+// Apply computes z = D⁻¹ r.
+func (p *JacobiPrec) Apply(r, z []float64) {
+	for i := range r {
+		z[i] = r[i] * p.invDiag[i]
+	}
+}
+
+// IC0Prec is a zero-fill incomplete Cholesky preconditioner: A ≈ L*Lᵀ with
+// L restricted to the sparsity pattern of the lower triangle of A. The
+// factorization runs on the symmetrically scaled matrix D^-1/2 A D^-1/2
+// (unit diagonal), which keeps it stable for conductance matrices whose
+// entries span many orders of magnitude.
+type IC0Prec struct {
+	lower *CSR      // L of the scaled matrix, diagonal stored last per row
+	upper *CSR      // Lᵀ for the backward solve
+	scale []float64 // D^-1/2
+	tmp   []float64
+}
+
+// NewIC0 computes an incomplete Cholesky factorization of the SPD matrix a.
+// If the factorization breaks down (non-positive pivot), the diagonal is
+// shifted by successively larger multiples of its magnitude and the
+// factorization retried; an error is returned only if even a large shift
+// fails.
+func NewIC0(a *CSR) (*IC0Prec, error) {
+	for shift := 0.0; shift <= 1.0; {
+		p, err := tryIC0(a, shift)
+		if err == nil {
+			return p, nil
+		}
+		if shift == 0 {
+			shift = 1e-3
+		} else {
+			shift *= 4
+		}
+	}
+	return nil, fmt.Errorf("sparse: IC(0) breakdown persists under diagonal shifting: %w", ErrNotPositiveDefinite)
+}
+
+func tryIC0(a *CSR, shift float64) (*IC0Prec, error) {
+	n := a.N()
+	// Symmetric Jacobi scaling: factor D^-1/2 A D^-1/2, which has a unit
+	// diagonal and bounded off-diagonal magnitudes.
+	scale := make([]float64, n)
+	for i, d := range a.Diag() {
+		if d <= 0 {
+			return nil, fmt.Errorf("sparse: IC(0): non-positive diagonal at row %d: %w", i, ErrNotPositiveDefinite)
+		}
+		scale[i] = 1 / math.Sqrt(d)
+	}
+	low := a.Lower()
+	// Copy values so we can factor in place; scale and apply the shift.
+	l := low.Clone()
+	for i := 0; i < n; i++ {
+		lo, hi := l.rowPtr[i], l.rowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			j := int(l.col[k])
+			l.val[k] *= scale[i] * scale[j]
+			if j == i {
+				l.val[k] *= 1 + shift
+			}
+		}
+	}
+
+	// Row-oriented IC(0).
+	for i := 0; i < n; i++ {
+		iLo, iHi := l.rowPtr[i], l.rowPtr[i+1]
+		var diagIdx = -1
+		for k := iLo; k < iHi; k++ {
+			j := int(l.col[k])
+			if j == i {
+				diagIdx = k
+				continue
+			}
+			// L[i][j] = (A[i][j] - Σ_k<j L[i][k] L[j][k]) / L[j][j]
+			jLo, jHi := l.rowPtr[j], l.rowPtr[j+1]
+			s := l.val[k]
+			var ljj float64
+			ki, kj := iLo, jLo
+			for ki < k && kj < jHi {
+				ci, cj := l.col[ki], l.col[kj]
+				switch {
+				case ci == cj:
+					if int(ci) < j {
+						s -= l.val[ki] * l.val[kj]
+					}
+					ki++
+					kj++
+				case ci < cj:
+					ki++
+				default:
+					kj++
+				}
+			}
+			for kk := jLo; kk < jHi; kk++ {
+				if int(l.col[kk]) == j {
+					ljj = l.val[kk]
+					break
+				}
+			}
+			if ljj == 0 {
+				return nil, ErrNotPositiveDefinite
+			}
+			l.val[k] = s / ljj
+		}
+		if diagIdx < 0 {
+			return nil, fmt.Errorf("sparse: IC(0): missing diagonal at row %d", i)
+		}
+		d := l.val[diagIdx]
+		for k := iLo; k < diagIdx; k++ {
+			d -= l.val[k] * l.val[k]
+		}
+		// On the scaled matrix the diagonal is 1+shift, so a pivot far
+		// below 1 signals (near-)breakdown; treat it as such rather than
+		// producing a disastrously conditioned factor.
+		if d <= 1e-4 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		l.val[diagIdx] = math.Sqrt(d)
+	}
+
+	// Build the transpose for the backward sweep.
+	ub := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		l.Row(i, func(j int, v float64) { ub.Add(j, i, v) })
+	}
+	return &IC0Prec{lower: l, upper: ub.ToCSR(), scale: scale, tmp: make([]float64, n)}, nil
+}
+
+// Apply solves (D^1/2 L Lᵀ D^1/2) z = r, the preconditioner in the
+// original (unscaled) variables.
+func (p *IC0Prec) Apply(r, z []float64) {
+	n := p.lower.N()
+	y := p.tmp
+	// Forward: L y = D^-1/2 r. Rows of L are sorted, diagonal last.
+	for i := 0; i < n; i++ {
+		s := r[i] * p.scale[i]
+		var d float64
+		lo, hi := p.lower.rowPtr[i], p.lower.rowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			j := int(p.lower.col[k])
+			if j == i {
+				d = p.lower.val[k]
+			} else {
+				s -= p.lower.val[k] * y[j]
+			}
+		}
+		y[i] = s / d
+	}
+	// Backward: Lᵀ w = y, then z = D^-1/2 w. Rows of upper are sorted,
+	// diagonal first.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		var d float64
+		lo, hi := p.upper.rowPtr[i], p.upper.rowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			j := int(p.upper.col[k])
+			if j == i {
+				d = p.upper.val[k]
+			} else {
+				s -= p.upper.val[k] * z[j]
+			}
+		}
+		z[i] = s / d
+	}
+	for i := 0; i < n; i++ {
+		z[i] *= p.scale[i]
+	}
+}
+
+// CGResult reports how an iterative solve went.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual ‖b−Ax‖₂/‖b‖₂
+}
+
+// PCG solves A x = b for SPD A using the preconditioned conjugate gradient
+// method. x0 may be nil (zero initial guess). The solve stops when the
+// relative residual drops below tol or maxIter iterations elapse.
+func PCG(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int) ([]float64, CGResult, error) {
+	n := a.N()
+	if len(b) != n {
+		panic("sparse: PCG dimension mismatch")
+	}
+	if prec == nil {
+		prec = IdentityPrec{}
+	}
+	x := make([]float64, n)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	r := make([]float64, n)
+	a.MulVec(x, r)
+	Sub(b, r, r)
+	normB := Norm2(b)
+	if normB == 0 {
+		return x, CGResult{0, 0}, nil // b = 0 => x = 0 (or x0 residual already 0)
+	}
+
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	prec.Apply(r, z)
+	copy(p, z)
+	rz := Dot(r, z)
+
+	res := Norm2(r) / normB
+	if res <= tol {
+		return x, CGResult{0, res}, nil
+	}
+	for it := 1; it <= maxIter; it++ {
+		a.MulVec(p, ap)
+		pap := Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return x, CGResult{it, res}, fmt.Errorf("sparse: PCG: matrix not SPD (pᵀAp=%g at iter %d)", pap, it)
+		}
+		alpha := rz / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		res = Norm2(r) / normB
+		if res <= tol {
+			return x, CGResult{it, res}, nil
+		}
+		prec.Apply(r, z)
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return x, CGResult{maxIter, res}, fmt.Errorf("%w: residual %.3e after %d iterations", ErrNoConvergence, res, maxIter)
+}
+
+// CG is PCG without preconditioning.
+func CG(a *CSR, b, x0 []float64, tol float64, maxIter int) ([]float64, CGResult, error) {
+	return PCG(a, b, x0, IdentityPrec{}, tol, maxIter)
+}

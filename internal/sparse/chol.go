@@ -1,0 +1,151 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization
+// encounters a non-positive pivot.
+var ErrNotPositiveDefinite = errors.New("sparse: matrix is not positive definite")
+
+// SkylineChol is a Cholesky factorization A = L*Lᵀ stored in skyline
+// (envelope) form, with an internal reverse Cuthill-McKee permutation
+// applied to keep the envelope small. Construct with FactorCholesky.
+type SkylineChol struct {
+	n      int
+	perm   []int // old -> new
+	inv    []int // new -> old
+	first  []int // first stored column per row (permuted indexing)
+	rowPtr []int // offset into val of column first[i] of row i
+	val    []float64
+}
+
+// FactorCholesky computes the skyline Cholesky factorization of the
+// symmetric positive definite matrix a. The input is not modified.
+func FactorCholesky(a *CSR) (*SkylineChol, error) {
+	perm := RCM(a)
+	return factorCholeskyPerm(a, perm)
+}
+
+// FactorCholeskyNatural factors without reordering (useful for testing and
+// for matrices that are already well ordered).
+func FactorCholeskyNatural(a *CSR) (*SkylineChol, error) {
+	n := a.N()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return factorCholeskyPerm(a, perm)
+}
+
+func factorCholeskyPerm(a *CSR, perm []int) (*SkylineChol, error) {
+	n := a.N()
+	p := a.Permute(perm)
+
+	// Envelope structure of the lower triangle.
+	first := make([]int, n)
+	for i := 0; i < n; i++ {
+		f := i
+		p.Row(i, func(j int, _ float64) {
+			if j < f {
+				f = j
+			}
+		})
+		first[i] = f
+	}
+	rowPtr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = rowPtr[i] + (i - first[i] + 1)
+	}
+	val := make([]float64, rowPtr[n])
+
+	// Scatter the lower triangle of the permuted matrix into the envelope.
+	for i := 0; i < n; i++ {
+		base := rowPtr[i] - first[i]
+		p.Row(i, func(j int, v float64) {
+			if j <= i {
+				val[base+j] = v
+			}
+		})
+	}
+
+	// In-place envelope Cholesky.
+	for i := 0; i < n; i++ {
+		baseI := rowPtr[i] - first[i]
+		for j := first[i]; j < i; j++ {
+			baseJ := rowPtr[j] - first[j]
+			kLo := first[i]
+			if first[j] > kLo {
+				kLo = first[j]
+			}
+			s := val[baseI+j]
+			for k := kLo; k < j; k++ {
+				s -= val[baseI+k] * val[baseJ+k]
+			}
+			val[baseI+j] = s / val[baseJ+j]
+		}
+		d := val[baseI+i]
+		for k := first[i]; k < i; k++ {
+			d -= val[baseI+k] * val[baseI+k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w (pivot %d, value %g)", ErrNotPositiveDefinite, i, d)
+		}
+		val[baseI+i] = math.Sqrt(d)
+	}
+
+	return &SkylineChol{
+		n:      n,
+		perm:   append([]int(nil), perm...),
+		inv:    InvertPerm(perm),
+		first:  first,
+		rowPtr: rowPtr,
+		val:    val,
+	}, nil
+}
+
+// N returns the system dimension.
+func (f *SkylineChol) N() int { return f.n }
+
+// Solve returns x with A*x = b. b is not modified.
+func (f *SkylineChol) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic("sparse: Solve dimension mismatch")
+	}
+	// Permute RHS into factor ordering.
+	y := PermuteVec(f.perm, b)
+
+	// Forward substitution: L*y' = y.
+	for i := 0; i < f.n; i++ {
+		base := f.rowPtr[i] - f.first[i]
+		s := y[i]
+		for k := f.first[i]; k < i; k++ {
+			s -= f.val[base+k] * y[k]
+		}
+		y[i] = s / f.val[base+i]
+	}
+	// Backward substitution: Lᵀ*x' = y' (column sweep over rows).
+	for i := f.n - 1; i >= 0; i-- {
+		base := f.rowPtr[i] - f.first[i]
+		y[i] /= f.val[base+i]
+		xi := y[i]
+		for k := f.first[i]; k < i; k++ {
+			y[k] -= f.val[base+k] * xi
+		}
+	}
+
+	// Permute solution back to original ordering.
+	x := make([]float64, f.n)
+	for nw, old := range f.inv {
+		x[old] = y[nw]
+	}
+	return x
+}
+
+// SolveTo is like Solve but writes into dst (len n) and reuses it.
+func (f *SkylineChol) SolveTo(dst, b []float64) {
+	x := f.Solve(b)
+	copy(dst, x)
+}

@@ -1,0 +1,410 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// residual returns ‖b − A x‖∞.
+func residual(a *CSR, x, b []float64) float64 {
+	r := make([]float64, a.N())
+	a.MulVec(x, r)
+	Sub(b, r, r)
+	return NormInf(r)
+}
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestCholeskySmallKnown(t *testing.T) {
+	// [[4,2],[2,3]] has Cholesky L = [[2,0],[1,sqrt(2)]].
+	b := NewBuilder(2)
+	b.Add(0, 0, 4)
+	b.AddSym(0, 1, 2)
+	b.Add(1, 1, 3)
+	a := b.ToCSR()
+	f, err := FactorCholeskyNatural(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{8, 7})
+	// Solution of [[4,2],[2,3]] x = [8,7] is x = [1.25, 1.5].
+	if math.Abs(x[0]-1.25) > 1e-12 || math.Abs(x[1]-1.5) > 1e-12 {
+		t.Errorf("x = %v, want [1.25, 1.5]", x)
+	}
+}
+
+func TestCholeskyRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(30)
+		a := randomSPD(n, rng)
+		xTrue := randVec(n, rng)
+		bVec := make([]float64, n)
+		a.MulVec(xTrue, bVec)
+		f, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x := f.Solve(bVec)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8*math.Max(1, math.Abs(xTrue[i])) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyGridLaplacian(t *testing.T) {
+	a := gridLaplacian(20, 15, 0.1)
+	rng := rand.New(rand.NewSource(9))
+	bVec := randVec(a.N(), rng)
+	f, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve(bVec)
+	if res := residual(a, x, bVec); res > 1e-9 {
+		t.Errorf("residual = %g", res)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.AddSym(0, 1, 2) // leads to negative pivot
+	b.Add(1, 1, 1)
+	if _, err := FactorCholeskyNatural(b.ToCSR()); err == nil {
+		t.Error("expected ErrNotPositiveDefinite")
+	}
+}
+
+func TestCholeskySolveMultipleRHS(t *testing.T) {
+	a := gridLaplacian(8, 8, 1)
+	f, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for k := 0; k < 5; k++ {
+		bVec := randVec(a.N(), rng)
+		x := f.Solve(bVec)
+		if res := residual(a, x, bVec); res > 1e-9 {
+			t.Errorf("rhs %d: residual %g", k, res)
+		}
+	}
+}
+
+func TestCGUnpreconditioned(t *testing.T) {
+	a := gridLaplacian(12, 12, 0.5)
+	rng := rand.New(rand.NewSource(5))
+	bVec := randVec(a.N(), rng)
+	x, res, err := CG(a, bVec, nil, 1e-10, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, bVec); r > 1e-7 {
+		t.Errorf("residual = %g after %d iters", r, res.Iterations)
+	}
+}
+
+func TestPCGJacobiFasterOnScaledSystem(t *testing.T) {
+	// Badly diagonally scaled SPD system: Jacobi should help a lot.
+	n := 100
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		scale := math.Pow(10, float64(i%6))
+		b.Add(i, i, 2*scale)
+		if i+1 < n {
+			b.AddSym(i, i+1, -0.5*math.Sqrt(scale))
+		}
+	}
+	a := b.ToCSR()
+	rng := rand.New(rand.NewSource(11))
+	bVec := randVec(n, rng)
+
+	_, plain, errPlain := CG(a, bVec, nil, 1e-10, 5000)
+	xj, jac, errJac := PCG(a, bVec, nil, NewJacobi(a), 1e-10, 5000)
+	if errJac != nil {
+		t.Fatalf("jacobi: %v", errJac)
+	}
+	if r := residual(a, xj, bVec); r > 1e-5*NormInf(bVec) {
+		t.Errorf("jacobi residual = %g", r)
+	}
+	if errPlain == nil && jac.Iterations > plain.Iterations {
+		t.Errorf("Jacobi (%d iters) should not be slower than plain CG (%d)", jac.Iterations, plain.Iterations)
+	}
+}
+
+func TestPCGIC0OnLaplacian(t *testing.T) {
+	a := gridLaplacian(30, 30, 0.01)
+	rng := rand.New(rand.NewSource(17))
+	bVec := randVec(a.N(), rng)
+
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, resIC, err := PCG(a, bVec, nil, ic, 1e-10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, bVec); r > 1e-6 {
+		t.Errorf("IC0 residual = %g", r)
+	}
+	_, resCG, err := CG(a, bVec, nil, 1e-10, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resIC.Iterations >= resCG.Iterations {
+		t.Errorf("IC0 (%d iters) should beat plain CG (%d iters) on a Laplacian",
+			resIC.Iterations, resCG.Iterations)
+	}
+}
+
+func TestPCGAgreesWithCholesky(t *testing.T) {
+	a := gridLaplacian(10, 14, 0.3)
+	rng := rand.New(rand.NewSource(23))
+	bVec := randVec(a.N(), rng)
+	f, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd := f.Solve(bVec)
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, _, err := PCG(a, bVec, nil, ic, 1e-12, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xd {
+		if math.Abs(xd[i]-xi[i]) > 1e-6*math.Max(1, math.Abs(xd[i])) {
+			t.Fatalf("solvers disagree at %d: chol %g vs pcg %g", i, xd[i], xi[i])
+		}
+	}
+}
+
+func TestPCGZeroRHS(t *testing.T) {
+	a := gridLaplacian(5, 5, 1)
+	x, res, err := CG(a, make([]float64, a.N()), nil, 1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NormInf(x) != 0 || res.Iterations != 0 {
+		t.Errorf("zero rhs should give zero solution immediately, got %v after %d", NormInf(x), res.Iterations)
+	}
+}
+
+func TestPCGWarmStart(t *testing.T) {
+	a := gridLaplacian(10, 10, 0.5)
+	rng := rand.New(rand.NewSource(31))
+	bVec := randVec(a.N(), rng)
+	xCold, cold, err := CG(a, bVec, nil, 1e-10, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm start from the exact solution should converge immediately.
+	_, warm, err := CG(a, bVec, xCold, 1e-8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations > 2 {
+		t.Errorf("warm start took %d iterations (cold %d)", warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestPCGNonConvergenceReported(t *testing.T) {
+	a := gridLaplacian(20, 20, 1e-6)
+	rng := rand.New(rand.NewSource(37))
+	bVec := randVec(a.N(), rng)
+	_, _, err := CG(a, bVec, nil, 1e-14, 2)
+	if err == nil {
+		t.Error("expected ErrNoConvergence with 2-iteration budget")
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A grid numbered badly: random permutation of a grid Laplacian.
+	a := gridLaplacian(16, 16, 1)
+	rng := rand.New(rand.NewSource(41))
+	scrambled := a.Permute(rng.Perm(a.N()))
+	before := Bandwidth(scrambled)
+	perm := RCM(scrambled)
+	after := Bandwidth(scrambled.Permute(perm))
+	if after >= before {
+		t.Errorf("RCM did not reduce bandwidth: %d -> %d", before, after)
+	}
+	// For a 16x16 grid RCM should get close to the optimal ~16.
+	if after > 40 {
+		t.Errorf("RCM bandwidth %d is far from grid optimum", after)
+	}
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx, ny := 2+rng.Intn(8), 2+rng.Intn(8)
+		a := gridLaplacian(nx, ny, 1)
+		perm := RCM(a)
+		seen := make([]bool, len(perm))
+		for _, p := range perm {
+			if p < 0 || p >= len(perm) || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRCMDisconnectedComponents(t *testing.T) {
+	// Two disjoint 3-node chains plus an isolated vertex.
+	b := NewBuilder(7)
+	for i := 0; i < 7; i++ {
+		b.Add(i, i, 2)
+	}
+	b.AddSym(0, 1, -1)
+	b.AddSym(1, 2, -1)
+	b.AddSym(4, 5, -1)
+	b.AddSym(5, 6, -1)
+	a := b.ToCSR()
+	perm := RCM(a)
+	seen := make([]bool, 7)
+	for _, p := range perm {
+		seen[p] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("index %d missing from RCM permutation", i)
+		}
+	}
+	// The system should still factor and solve.
+	f, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{1, 0, 0, 2, 0, 0, 1})
+	if res := residual(a, x, []float64{1, 0, 0, 2, 0, 0, 1}); res > 1e-10 {
+		t.Errorf("residual = %g", res)
+	}
+}
+
+func TestEnvelopeSizeShrinksUnderRCM(t *testing.T) {
+	a := gridLaplacian(12, 12, 1)
+	rng := rand.New(rand.NewSource(43))
+	scrambled := a.Permute(rng.Perm(a.N()))
+	orig := EnvelopeSize(scrambled)
+	reordered := scrambled.Permute(RCM(scrambled))
+	if got := EnvelopeSize(reordered); got >= orig {
+		t.Errorf("envelope %d -> %d, expected reduction", orig, got)
+	}
+}
+
+func TestDenseLUKnown(t *testing.T) {
+	d := NewDense(3)
+	vals := [][]float64{{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			d.Set(i, j, vals[i][j])
+		}
+	}
+	lu, err := d.LU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lu.Solve([]float64{5, -2, 9})
+	want := []float64{1, 1, 2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x = %v, want %v", x, want)
+			break
+		}
+	}
+	// det([[2,1,1],[4,-6,0],[-2,7,2]]) = -16
+	if math.Abs(lu.Det()-(-16)) > 1e-9 {
+		t.Errorf("det = %g, want -16", lu.Det())
+	}
+}
+
+func TestDenseLUSingular(t *testing.T) {
+	d := NewDense(2)
+	d.Set(0, 0, 1)
+	d.Set(0, 1, 2)
+	d.Set(1, 0, 2)
+	d.Set(1, 1, 4)
+	if _, err := d.LU(); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestDenseLURandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		d := NewDense(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				d.Set(i, j, rng.NormFloat64())
+			}
+			d.Add(i, i, float64(n)) // diagonally dominant, nonsingular
+		}
+		xTrue := randVec(n, rng)
+		bVec := make([]float64, n)
+		d.MulVec(xTrue, bVec)
+		lu, err := d.LU()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := lu.Solve(bVec)
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-9*math.Max(1, math.Abs(xTrue[i])) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestDenseCloneIndependent(t *testing.T) {
+	d := NewDense(2)
+	d.Set(0, 0, 1)
+	c := d.Clone()
+	c.Set(0, 0, 5)
+	if d.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+	d.Zero()
+	if d.At(0, 0) != 0 {
+		t.Error("Zero failed")
+	}
+}
+
+// Property: Cholesky solve satisfies A x = b for arbitrary grid Laplacians.
+func TestCholeskyPropertyGrid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx, ny := 2+rng.Intn(10), 2+rng.Intn(10)
+		a := gridLaplacian(nx, ny, 0.05+rng.Float64())
+		bVec := randVec(a.N(), rng)
+		fac, err := FactorCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := fac.Solve(bVec)
+		return residual(a, x, bVec) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

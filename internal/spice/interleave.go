@@ -1,0 +1,202 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"voltstack/internal/sparse"
+)
+
+// Bank is an N-phase interleaved bank of push-pull cells sharing one
+// output node, with clock phases staggered by T/N — the paper's converter
+// uses 4-way interleaving. Interleaving leaves the averaged output
+// impedance unchanged but divides the output ripple, which is what the
+// bank simulation demonstrates.
+type Bank struct {
+	Cell   Cell // the per-cell design (its CFly is per cell)
+	Phases int  // number of interleaved cells (≥ 1)
+}
+
+// NewBank builds an n-phase bank from an aggregate single-cell design:
+// each cell receives 1/n of the fly and load capacitance and n times the
+// per-switch resistance, preserving the aggregate RSSL and RFSL.
+func NewBank(aggregate Cell, phases int) (Bank, error) {
+	if phases < 1 {
+		return Bank{}, fmt.Errorf("spice: bank needs at least 1 phase, got %d", phases)
+	}
+	cell := aggregate
+	cell.CFly = aggregate.CFly / float64(phases)
+	cell.RSwitch = aggregate.RSwitch * float64(phases)
+	cell.CLoad = aggregate.CLoad // the shared output decap is not split
+	return Bank{Cell: cell, Phases: phases}, nil
+}
+
+// Simulate runs the bank to periodic steady state with a shared constant
+// load current and returns cycle-averaged measurements.
+func (b Bank) Simulate(iLoad float64, opts SimOptions) (Result, error) {
+	c := b.Cell
+	n := b.Phases
+	if n < 1 {
+		return Result{}, fmt.Errorf("spice: invalid phase count %d", n)
+	}
+	if c.Vin <= 0 || c.CFly <= 0 || c.RSwitch <= 0 || c.FSw <= 0 {
+		return Result{}, fmt.Errorf("spice: invalid cell %+v", c)
+	}
+	opts = opts.withDefaults()
+
+	// The push-pull cell is itself two-phase symmetric, so the useful
+	// stagger between cells is T/(2N): 2N slices of T/(2N) per period,
+	// with cell i in phase A during slice s iff ((s - i) mod 2N) < N.
+	slices := 2 * n
+	stepsPerSlice := opts.StepsPerPhase / n
+	if stepsPerSlice < 4 {
+		stepsPerSlice = 4
+	}
+	period := 1 / c.FSw
+	dt := period / float64(slices*stepsPerSlice)
+
+	// Node layout: 0 = vin, 1 = vmid, then 4 nodes per cell.
+	numN := 2 + 4*n
+	cellNode := func(cell, k int) int { return 2 + 4*cell + k } // k: 0=c1t 1=c1b 2=c2t 3=c2b
+
+	type capEl struct {
+		a, b int
+		c    float64
+	}
+	caps := []capEl{{1, -1, c.CLoad}}
+	for i := 0; i < n; i++ {
+		caps = append(caps,
+			capEl{cellNode(i, 0), cellNode(i, 1), c.CFly},
+			capEl{cellNode(i, 2), cellNode(i, 3), c.CFly},
+			capEl{cellNode(i, 1), -1, c.KBottomPlate * c.CFly},
+			capEl{cellNode(i, 3), -1, c.KBottomPlate * c.CFly},
+		)
+	}
+
+	buildSlice := func(s int) (*sparse.DenseLU, error) {
+		m := sparse.NewDense(numN)
+		stamp := func(a, b int, g float64) {
+			if a >= 0 {
+				m.Add(a, a, g)
+			}
+			if b >= 0 {
+				m.Add(b, b, g)
+			}
+			if a >= 0 && b >= 0 {
+				m.Add(a, b, -g)
+				m.Add(b, a, -g)
+			}
+		}
+		stamp(0, -1, 1/rSource)
+		gs := 1 / c.RSwitch
+		for i := 0; i < n; i++ {
+			inA := ((s-i)%slices+slices)%slices < n
+			if inA {
+				stamp(0, cellNode(i, 0), gs)  // vin - c1t
+				stamp(cellNode(i, 1), 1, gs)  // c1b - vmid
+				stamp(1, cellNode(i, 2), gs)  // vmid - c2t
+				stamp(cellNode(i, 3), -1, gs) // c2b - gnd
+			} else {
+				stamp(0, cellNode(i, 2), gs)  // vin - c2t
+				stamp(cellNode(i, 3), 1, gs)  // c2b - vmid
+				stamp(1, cellNode(i, 0), gs)  // vmid - c1t
+				stamp(cellNode(i, 1), -1, gs) // c1b - gnd
+			}
+		}
+		for _, cp := range caps {
+			stamp(cp.a, cp.b, cp.c/dt)
+		}
+		return m.LU()
+	}
+
+	lus := make([]*sparse.DenseLU, slices)
+	for s := range lus {
+		var err error
+		if lus[s], err = buildSlice(s); err != nil {
+			return Result{}, fmt.Errorf("spice: bank slice %d: %v", s, err)
+		}
+	}
+
+	// Initial condition: ideal operating point.
+	vmid0 := c.Vin / 2
+	v := make([]float64, numN)
+	v[0] = c.Vin
+	v[1] = vmid0
+	for i := 0; i < n; i++ {
+		v[cellNode(i, 0)] = c.Vin
+		v[cellNode(i, 1)] = vmid0
+		v[cellNode(i, 2)] = vmid0
+		v[cellNode(i, 3)] = 0
+	}
+
+	rhs := make([]float64, numN)
+	step := func(lu *sparse.DenseLU) {
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		rhs[0] += c.Vin / rSource
+		rhs[1] -= iLoad
+		for _, cp := range caps {
+			dv := v[cp.a]
+			if cp.b >= 0 {
+				dv -= v[cp.b]
+			}
+			q := cp.c / dt * dv
+			rhs[cp.a] += q
+			if cp.b >= 0 {
+				rhs[cp.b] -= q
+			}
+		}
+		copy(v, lu.Solve(rhs))
+	}
+
+	stepsPerCycle := slices * stepsPerSlice
+	var sumV, sumI, minV, maxV float64
+	prevAvg := math.Inf(1)
+	cycles := 0
+	for cycles = 1; cycles <= opts.MaxCycles; cycles++ {
+		sumV, sumI = 0, 0
+		minV, maxV = math.Inf(1), math.Inf(-1)
+		for s := 0; s < slices; s++ {
+			for k := 0; k < stepsPerSlice; k++ {
+				step(lus[s])
+				sumV += v[1]
+				sumI += (c.Vin - v[0]) / rSource
+				if v[1] < minV {
+					minV = v[1]
+				}
+				if v[1] > maxV {
+					maxV = v[1]
+				}
+			}
+		}
+		avg := sumV / float64(stepsPerCycle)
+		if math.Abs(avg-prevAvg) < opts.Tol*c.Vin {
+			prevAvg = avg
+			break
+		}
+		prevAvg = avg
+	}
+	if cycles > opts.MaxCycles {
+		return Result{}, fmt.Errorf("spice: bank: no periodic steady state after %d cycles", opts.MaxCycles)
+	}
+
+	vAvg := sumV / float64(stepsPerCycle)
+	iAvg := sumI / float64(stepsPerCycle)
+	pOut := vAvg * iLoad
+	pGate := c.QGate * c.VGate * c.FSw // aggregate gate charge unchanged
+	pIn := c.Vin*iAvg + pGate
+	eff := 0.0
+	if pIn > 0 {
+		eff = pOut / pIn
+	}
+	return Result{
+		VOutAvg:    vAvg,
+		VOutRipple: maxV - minV,
+		IInAvg:     iAvg,
+		POut:       pOut,
+		PIn:        pIn,
+		Efficiency: eff,
+		Cycles:     cycles,
+	}, nil
+}

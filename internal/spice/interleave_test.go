@@ -1,0 +1,133 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"voltstack/internal/sc"
+	"voltstack/internal/units"
+)
+
+func cleanAggregate() Cell {
+	c := CellFromParams(sc.Default28nm(), 2.0)
+	c.KBottomPlate = 0
+	c.QGate = 0
+	return c
+}
+
+func TestBankSinglePhaseMatchesCell(t *testing.T) {
+	// A 1-phase bank is the original cell; results must agree closely.
+	agg := cleanAggregate()
+	bank, err := NewBank(agg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := bank.Simulate(0.05, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := agg.Simulate(0.05, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.WithinRel(rb.VOutAvg, rc.VOutAvg, 1e-3) {
+		t.Errorf("bank %g vs cell %g", rb.VOutAvg, rc.VOutAvg)
+	}
+	if !units.WithinRel(rb.VOutRipple, rc.VOutRipple, 0.05) {
+		t.Errorf("ripple bank %g vs cell %g", rb.VOutRipple, rc.VOutRipple)
+	}
+}
+
+func TestInterleavingReducesRipple(t *testing.T) {
+	// The point of the paper's 4-way interleaving: same averaged
+	// impedance, much smaller output ripple.
+	agg := cleanAggregate()
+	one, err := NewBank(agg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := NewBank(agg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := one.Simulate(0.08, SimOptions{StepsPerPhase: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := four.Simulate(0.08, SimOptions{StepsPerPhase: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.VOutRipple >= r1.VOutRipple/2 {
+		t.Errorf("4-way ripple %g should be well below single-phase %g",
+			r4.VOutRipple, r1.VOutRipple)
+	}
+	// The averaged output voltage (hence impedance) stays close.
+	if math.Abs(r4.VOutAvg-r1.VOutAvg) > 0.01 {
+		t.Errorf("interleaving should not change the average: %g vs %g",
+			r4.VOutAvg, r1.VOutAvg)
+	}
+}
+
+func TestBankIdealCurrentRatio(t *testing.T) {
+	agg := cleanAggregate()
+	bank, err := NewBank(agg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := bank.Simulate(0.06, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.WithinRel(r.IInAvg, 0.03, 5e-3) {
+		t.Errorf("input current %g, want ~0.03", r.IInAvg)
+	}
+}
+
+func TestBankEfficiencyTracksCell(t *testing.T) {
+	agg := CellFromParams(sc.Default28nm(), 2.0)
+	bank, err := NewBank(agg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := bank.Simulate(0.05, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := agg.Simulate(0.05, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rb.Efficiency-rc.Efficiency) > 0.03 {
+		t.Errorf("bank eff %g vs cell %g", rb.Efficiency, rc.Efficiency)
+	}
+}
+
+func TestBankValidation(t *testing.T) {
+	if _, err := NewBank(cleanAggregate(), 0); err == nil {
+		t.Error("0 phases not caught")
+	}
+	bad := Bank{Cell: Cell{}, Phases: 2}
+	if _, err := bad.Simulate(0.01, SimOptions{}); err == nil {
+		t.Error("invalid cell not caught")
+	}
+}
+
+func TestBankRippleMonotoneInPhases(t *testing.T) {
+	agg := cleanAggregate()
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 4} {
+		bank, err := NewBank(agg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := bank.Simulate(0.06, SimOptions{StepsPerPhase: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.VOutRipple >= prev {
+			t.Errorf("%d phases: ripple %g should shrink from %g", n, r.VOutRipple, prev)
+		}
+		prev = r.VOutRipple
+	}
+}

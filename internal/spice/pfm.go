@@ -1,0 +1,213 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"voltstack/internal/sparse"
+)
+
+// PFMResult extends Result with the pulse statistics of a
+// pulse-frequency-modulated run.
+type PFMResult struct {
+	Result
+	// PulseRate is the fraction of switching cycles actually executed —
+	// the circuit-level analogue of the compact ClosedLoop policy's
+	// frequency scaling.
+	PulseRate float64
+}
+
+// rOff is the off-state leakage resistance of an open switch (keeps the
+// hold-state matrix nonsingular and models subthreshold leakage).
+const rOff = 1e9
+
+// SimulatePFM runs the cell under lower-bound pulse-skipping control: at
+// every cycle boundary the controller pulses (one full A/B cycle) only if
+// the output has sagged below vRef, and otherwise holds (all switches
+// off) for a cycle. This is the circuit-level realization of the
+// closed-loop policy the paper validates in Fig. 3a — the effective
+// switching frequency, and with it the parasitic loss, tracks the load.
+//
+// The run simulates warmupCycles then measures over measureCycles.
+func (c Cell) SimulatePFM(iLoad, vRef float64, opts SimOptions) (PFMResult, error) {
+	if c.Vin <= 0 || c.CFly <= 0 || c.RSwitch <= 0 || c.FSw <= 0 {
+		return PFMResult{}, fmt.Errorf("spice: invalid cell %+v", c)
+	}
+	if vRef <= 0 || vRef >= c.Vin {
+		return PFMResult{}, fmt.Errorf("spice: vRef %g out of (0, Vin)", vRef)
+	}
+	opts = opts.withDefaults()
+	period := 1 / c.FSw
+	dt := period / float64(2*opts.StepsPerPhase)
+
+	switchesA := [][2]int{{nVin, nC1T}, {nC1B, nVmid}, {nVmid, nC2T}, {nC2B, -1}}
+	switchesB := [][2]int{{nVin, nC2T}, {nC2B, nVmid}, {nVmid, nC1T}, {nC1B, -1}}
+	allSwitches := append(append([][2]int{}, switchesA...), switchesB...)
+
+	caps := []struct {
+		a, b int
+		c    float64
+	}{
+		{nC1T, nC1B, c.CFly},
+		{nC2T, nC2B, c.CFly},
+		{nC1B, -1, c.KBottomPlate * c.CFly},
+		{nC2B, -1, c.KBottomPlate * c.CFly},
+		{nVmid, -1, c.CLoad},
+	}
+
+	build := func(on [][2]int) (*sparse.DenseLU, error) {
+		m := sparse.NewDense(numNodes)
+		stamp := func(a, b int, g float64) {
+			if a >= 0 {
+				m.Add(a, a, g)
+			}
+			if b >= 0 {
+				m.Add(b, b, g)
+			}
+			if a >= 0 && b >= 0 {
+				m.Add(a, b, -g)
+				m.Add(b, a, -g)
+			}
+		}
+		stamp(nVin, -1, 1/rSource)
+		onSet := map[[2]int]bool{}
+		for _, sw := range on {
+			onSet[sw] = true
+		}
+		for _, sw := range allSwitches {
+			g := 1 / rOff
+			if onSet[sw] {
+				g = 1 / c.RSwitch
+			}
+			stamp(sw[0], sw[1], g)
+		}
+		for _, cp := range caps {
+			stamp(cp.a, cp.b, cp.c/dt)
+		}
+		return m.LU()
+	}
+
+	luA, err := build(switchesA)
+	if err != nil {
+		return PFMResult{}, err
+	}
+	luB, err := build(switchesB)
+	if err != nil {
+		return PFMResult{}, err
+	}
+	luHold, err := build(nil)
+	if err != nil {
+		return PFMResult{}, err
+	}
+
+	vmid0 := c.Vin / 2
+	v := make([]float64, numNodes)
+	v[nVin] = c.Vin
+	v[nVmid] = vmid0
+	v[nC1T] = c.Vin
+	v[nC1B] = vmid0
+	v[nC2T] = vmid0
+	v[nC2B] = 0
+
+	rhs := make([]float64, numNodes)
+	step := func(lu *sparse.DenseLU) {
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		rhs[nVin] += c.Vin / rSource
+		rhs[nVmid] -= iLoad
+		for _, cp := range caps {
+			dv := v[cp.a]
+			if cp.b >= 0 {
+				dv -= v[cp.b]
+			}
+			q := cp.c / dt * dv
+			rhs[cp.a] += q
+			if cp.b >= 0 {
+				rhs[cp.b] -= q
+			}
+		}
+		copy(v, lu.Solve(rhs))
+	}
+
+	warmup := opts.MaxCycles / 8
+	if warmup < 100 {
+		warmup = 100
+	}
+	measure := warmup * 2
+
+	var sumV, sumI, minV, maxV float64
+	pulses, total := 0, 0
+	// The controller compares the previous cycle's average output against
+	// the reference — less twitchy than sampling the instantaneous
+	// boundary value, which sits near the ripple peak right after a pulse.
+	lastCycleAvg := 0.0
+	runCycle := func(measureIt bool) {
+		pulse := lastCycleAvg < vRef
+		var cycleSum float64
+		for half := 0; half < 2; half++ {
+			lu := luHold
+			if pulse {
+				if half == 0 {
+					lu = luA
+				} else {
+					lu = luB
+				}
+			}
+			for s := 0; s < opts.StepsPerPhase; s++ {
+				step(lu)
+				cycleSum += v[nVmid]
+				if measureIt {
+					sumV += v[nVmid]
+					sumI += (c.Vin - v[nVin]) / rSource
+					if v[nVmid] < minV {
+						minV = v[nVmid]
+					}
+					if v[nVmid] > maxV {
+						maxV = v[nVmid]
+					}
+				}
+			}
+		}
+		lastCycleAvg = cycleSum / float64(2*opts.StepsPerPhase)
+		if measureIt {
+			total++
+			if pulse {
+				pulses++
+			}
+		}
+	}
+
+	for k := 0; k < warmup; k++ {
+		runCycle(false)
+	}
+	minV, maxV = math.Inf(1), math.Inf(-1)
+	for k := 0; k < measure; k++ {
+		runCycle(true)
+	}
+
+	nSteps := float64(measure * 2 * opts.StepsPerPhase)
+	vAvg := sumV / nSteps
+	iAvg := sumI / nSteps
+	pulseRate := float64(pulses) / float64(total)
+	pOut := vAvg * iLoad
+	// Gate loss is paid only on executed cycles.
+	pGate := c.QGate * c.VGate * c.FSw * pulseRate
+	pIn := c.Vin*iAvg + pGate
+	eff := 0.0
+	if pIn > 0 {
+		eff = pOut / pIn
+	}
+	return PFMResult{
+		Result: Result{
+			VOutAvg:    vAvg,
+			VOutRipple: maxV - minV,
+			IInAvg:     iAvg,
+			POut:       pOut,
+			PIn:        pIn,
+			Efficiency: eff,
+			Cycles:     warmup + measure,
+		},
+		PulseRate: pulseRate,
+	}, nil
+}

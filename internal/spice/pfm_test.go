@@ -1,0 +1,125 @@
+package spice
+
+import (
+	"testing"
+
+	"voltstack/internal/sc"
+)
+
+func TestPFMValidation(t *testing.T) {
+	c := defaultCell()
+	if _, err := c.SimulatePFM(0.01, 0, SimOptions{}); err == nil {
+		t.Error("vRef 0 not caught")
+	}
+	if _, err := c.SimulatePFM(0.01, 3, SimOptions{}); err == nil {
+		t.Error("vRef > Vin not caught")
+	}
+	if _, err := (Cell{}).SimulatePFM(0.01, 0.9, SimOptions{}); err == nil {
+		t.Error("invalid cell not caught")
+	}
+}
+
+func TestPFMRegulatesToReference(t *testing.T) {
+	c := defaultCell()
+	r, err := c.SimulatePFM(0.02, 0.97, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lower-bound controller parks the output near the reference
+	// (within the ripple band below it) instead of letting it float up to
+	// the open-loop equilibrium (~0.994 at this light load) — that
+	// difference is exactly the pulses it saves.
+	if r.VOutAvg < 0.92 || r.VOutAvg > 0.985 {
+		t.Errorf("regulated output %g, want near/below 0.97", r.VOutAvg)
+	}
+	open, err := c.Simulate(0.02, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VOutAvg >= open.VOutAvg-0.005 {
+		t.Errorf("PFM output %g should sit clearly below the open-loop %g", r.VOutAvg, open.VOutAvg)
+	}
+}
+
+func TestPFMPulseRateTracksLoad(t *testing.T) {
+	c := defaultCell()
+	prev := -1.0
+	for _, il := range []float64{0.005, 0.02, 0.05} {
+		r, err := c.SimulatePFM(il, 0.96, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PulseRate <= prev {
+			t.Fatalf("pulse rate must grow with load: %g at %g A", r.PulseRate, il)
+		}
+		if r.PulseRate <= 0 || r.PulseRate > 1 {
+			t.Fatalf("pulse rate %g out of (0,1]", r.PulseRate)
+		}
+		prev = r.PulseRate
+	}
+}
+
+func TestPFMBeatsOpenLoopAtLightLoad(t *testing.T) {
+	// The point of closed-loop control (Fig. 3a): skipping cycles slashes
+	// the fixed parasitic loss when the load is light.
+	c := defaultCell()
+	il := 0.005
+	pfm, err := c.SimulatePFM(il, 0.97, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := c.Simulate(il, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfm.Efficiency <= open.Efficiency+0.15 {
+		t.Errorf("PFM %g should beat open loop %g by a wide margin at 5 mA",
+			pfm.Efficiency, open.Efficiency)
+	}
+}
+
+func TestPFMBoundedByCompactAndOpenLoop(t *testing.T) {
+	// The compact ClosedLoop policy is the idealized continuous-frequency
+	// bound; real pulse-skipping pays bottom-plate loss per pulse and is
+	// limited by the output-capacitor sag budget, so its efficiency lands
+	// between the open-loop floor and the compact ceiling.
+	p := sc.Default28nm()
+	c := defaultCell()
+	for _, il := range []float64{0.005, 0.01} {
+		pfm, err := c.SimulatePFM(il, 0.97, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		open, err := c.Simulate(il, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ceiling := sc.Evaluate(p, sc.ClosedLoop{}, 2.0, il).Efficiency
+		if pfm.Efficiency <= open.Efficiency {
+			t.Errorf("I=%g: PFM %g below open-loop floor %g", il, pfm.Efficiency, open.Efficiency)
+		}
+		if pfm.Efficiency > ceiling+0.02 {
+			t.Errorf("I=%g: PFM %g above the idealized ceiling %g", il, pfm.Efficiency, ceiling)
+		}
+	}
+}
+
+func TestPFMFullLoadApproachesOpenLoop(t *testing.T) {
+	// When the sustainable output sits below the reference the controller
+	// pulses every cycle and PFM degenerates to open loop.
+	c := defaultCell()
+	pfm, err := c.SimulatePFM(0.04, 0.97, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfm.PulseRate < 0.95 {
+		t.Errorf("heavy load pulse rate %g, want ~1", pfm.PulseRate)
+	}
+	open, err := c.Simulate(0.04, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := pfm.Efficiency - open.Efficiency; diff < -0.05 || diff > 0.05 {
+		t.Errorf("full-load PFM %g vs open loop %g", pfm.Efficiency, open.Efficiency)
+	}
+}

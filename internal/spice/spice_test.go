@@ -1,0 +1,248 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"voltstack/internal/sc"
+	"voltstack/internal/units"
+)
+
+func defaultCell() Cell {
+	return CellFromParams(sc.Default28nm(), 2.0)
+}
+
+func TestCellFromParamsMapping(t *testing.T) {
+	p := sc.Default28nm()
+	c := CellFromParams(p, 2.0)
+	if c.Vin != 2.0 {
+		t.Errorf("Vin = %g", c.Vin)
+	}
+	if !units.WithinRel(c.CFly, p.Ctot/2, 1e-12) {
+		t.Errorf("CFly = %g, want Ctot/2", c.CFly)
+	}
+	if !units.WithinRel(c.RSwitch, 8/p.Gtot, 1e-12) {
+		t.Errorf("RSwitch = %g, want 8/Gtot", c.RSwitch)
+	}
+	if c.FSw != p.FSw {
+		t.Errorf("FSw = %g", c.FSw)
+	}
+}
+
+func TestNoLoadSitsAtMidpoint(t *testing.T) {
+	c := defaultCell()
+	c.KBottomPlate = 0 // remove the parasitic internal load
+	c.QGate = 0
+	r, err := c.Simulate(0, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(r.VOutAvg, 1.0, 1e-4, 1e-4) {
+		t.Errorf("no-load Vout = %g, want 1.0", r.VOutAvg)
+	}
+	if math.Abs(r.IInAvg) > 1e-5 {
+		t.Errorf("no-load input current = %g", r.IInAvg)
+	}
+}
+
+func TestIdealTransformerCurrentRatio(t *testing.T) {
+	// Charge conservation: a 2:1 cell draws exactly half the load current
+	// from the input at periodic steady state (ignoring parasitics).
+	c := defaultCell()
+	c.KBottomPlate = 0
+	c.QGate = 0
+	for _, il := range []float64{0.02, 0.05, 0.08} {
+		r, err := c.Simulate(il, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !units.WithinRel(r.IInAvg, il/2, 1e-3) {
+			t.Errorf("I=%g: Iin = %g, want %g", il, r.IInAvg, il/2)
+		}
+	}
+}
+
+func TestOutputImpedanceMatchesCompactModel(t *testing.T) {
+	// The headline Fig. 3 validation: the switch-level cell and the
+	// Seeman compact model must agree on RSERIES (paper: 0.6 ohm).
+	p := sc.Default28nm()
+	c := defaultCell()
+	c.KBottomPlate = 0
+	c.QGate = 0
+	z, err := c.OutputImpedance(0, 0.08, SimOptions{StepsPerPhase: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := p.RSeriesNominal()
+	if !units.WithinRel(z, model, 0.08) {
+		t.Errorf("spice impedance %g vs model %g: disagree beyond 8%%", z, model)
+	}
+	if !units.ApproxEqual(z, 0.6, 0.05, 0.1) {
+		t.Errorf("impedance %g should be near the paper's 0.6 ohm", z)
+	}
+}
+
+func TestEfficiencyMatchesCompactModelOpenLoop(t *testing.T) {
+	// Fig. 3b: model vs simulation efficiency within 2 points, 10-90 mA.
+	p := sc.Default28nm()
+	c := defaultCell()
+	for _, il := range []float64{0.01, 0.03, 0.05, 0.07, 0.09} {
+		r, err := c.Simulate(il, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := sc.Evaluate(p, sc.OpenLoop{}, 2.0, il)
+		if math.Abs(r.Efficiency-op.Efficiency) > 0.02 {
+			t.Errorf("I=%g: spice eff %.4f vs model %.4f", il, r.Efficiency, op.Efficiency)
+		}
+	}
+}
+
+func TestEfficiencyMatchesCompactModelClosedLoop(t *testing.T) {
+	// Fig. 3a: closed-loop agreement within 3 points, 1.6-100 mA.
+	p := sc.Default28nm()
+	cl := sc.ClosedLoop{}
+	for _, il := range []float64{1.6e-3, 6.3e-3, 25e-3, 100e-3} {
+		c := defaultCell()
+		c.FSw = cl.Freq(p, il)
+		r, err := c.Simulate(il, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := sc.Evaluate(p, cl, 2.0, il)
+		if math.Abs(r.Efficiency-op.Efficiency) > 0.03 {
+			t.Errorf("I=%g: spice eff %.4f vs model %.4f", il, r.Efficiency, op.Efficiency)
+		}
+	}
+}
+
+func TestVoltageDropLinearInLoad(t *testing.T) {
+	c := defaultCell()
+	c.KBottomPlate = 0
+	c.QGate = 0
+	r1, err := c.Simulate(0.02, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Simulate(0.04, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := c.Simulate(0.06, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d12 := r1.VOutAvg - r2.VOutAvg
+	d23 := r2.VOutAvg - r3.VOutAvg
+	if !units.WithinRel(d12, d23, 0.02) {
+		t.Errorf("drop not linear: %g vs %g", d12, d23)
+	}
+}
+
+func TestBottomPlateLossPhysical(t *testing.T) {
+	// Enabling the bottom-plate capacitors must cost close to
+	// 2·Cbp·Vmid²·f of input power.
+	base := defaultCell()
+	base.QGate = 0
+	clean := base
+	clean.KBottomPlate = 0
+	il := 0.05
+	rDirty, err := base.Simulate(il, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rClean, err := clean.Simulate(il, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := rDirty.PIn - rClean.PIn
+	want := 2 * base.KBottomPlate * base.CFly * 1.0 * 1.0 * base.FSw
+	if !units.WithinRel(extra, want, 0.15) {
+		t.Errorf("bottom-plate loss = %g, want ~%g", extra, want)
+	}
+}
+
+func TestRippleShrinksWithDecoupling(t *testing.T) {
+	c := defaultCell()
+	small, err := c.Simulate(0.05, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.CLoad *= 10
+	big, err := c.Simulate(0.05, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.VOutRipple >= small.VOutRipple {
+		t.Errorf("ripple %g should shrink with 10x decoupling (was %g)", big.VOutRipple, small.VOutRipple)
+	}
+}
+
+func TestLowerFrequencyRaisesImpedance(t *testing.T) {
+	c := defaultCell()
+	c.KBottomPlate = 0
+	c.QGate = 0
+	z1, err := c.OutputImpedance(0, 0.05, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FSw /= 4
+	z2, err := c.OutputImpedance(0, 0.05, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z2 <= z1 {
+		t.Errorf("impedance should rise at lower f: %g -> %g", z1, z2)
+	}
+}
+
+func TestSinkingLoad(t *testing.T) {
+	// Push current INTO the output: the push-pull cell must absorb it and
+	// the output rises above the midpoint.
+	c := defaultCell()
+	c.KBottomPlate = 0
+	c.QGate = 0
+	r, err := c.Simulate(-0.05, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VOutAvg <= 1.0 {
+		t.Errorf("sinking cell output = %g, want > 1", r.VOutAvg)
+	}
+	// Charge recycled back: input current goes negative (returned to rail).
+	if r.IInAvg >= 0 {
+		t.Errorf("sinking cell should return current to the input, got %g", r.IInAvg)
+	}
+}
+
+func TestInvalidCellRejected(t *testing.T) {
+	bad := []Cell{
+		{},
+		{Vin: 2},
+		{Vin: 2, CFly: 4e-9},
+		{Vin: 2, CFly: 4e-9, RSwitch: 0.5},
+	}
+	for i, c := range bad {
+		if _, err := c.Simulate(0.01, SimOptions{}); err == nil {
+			t.Errorf("cell %d should be rejected", i)
+		}
+	}
+}
+
+func TestOutputImpedanceNeedsDistinctPoints(t *testing.T) {
+	c := defaultCell()
+	if _, err := c.OutputImpedance(0.05, 0.05, SimOptions{}); err == nil {
+		t.Error("expected error for identical load points")
+	}
+}
+
+func TestSteadyStateDetection(t *testing.T) {
+	c := defaultCell()
+	r, err := c.Simulate(0.05, SimOptions{MaxCycles: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles <= 1 || r.Cycles >= 4000 {
+		t.Errorf("suspicious steady-state cycle count %d", r.Cycles)
+	}
+}

@@ -1,0 +1,221 @@
+// Package thermal is a pre-RTL steady-state thermal model for 3D stacks in
+// the role HotSpot plays for the paper: it verifies that the example
+// many-core processor can be stacked up to 8 layers under conventional
+// air cooling while keeping the hotspot temperature below the customary
+// 100 °C limit (Sec. 4.1).
+//
+// The model is a 3D thermal resistance network: each silicon layer is a
+// lateral conduction mesh, adjacent layers couple through thinned silicon
+// plus a bond/TIM interface, the layer nearest the heat sink couples
+// through a thermal-interface layer into a lumped spreader+sink+convection
+// resistance, and per-cell power maps inject heat. The network reuses the
+// MNA solver (temperature ≡ voltage, heat flow ≡ current).
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"voltstack/internal/circuit"
+	"voltstack/internal/floorplan"
+	"voltstack/internal/units"
+)
+
+// Materials holds the conduction properties of the stack.
+type Materials struct {
+	SiK       float64 // silicon thermal conductivity (W/mK)
+	SiThick   float64 // thinned die thickness (m)
+	BondK     float64 // inter-layer bond/underfill conductivity (W/mK)
+	BondThick float64 // bond layer thickness (m)
+	TIMK      float64 // thermal interface material conductivity (W/mK)
+	TIMThick  float64 // TIM thickness (m)
+}
+
+// DefaultMaterials returns typical 3D-IC stack values: 100 um thinned
+// dies, a 15 um underfill bond, and a standard TIM.
+func DefaultMaterials() Materials {
+	return Materials{
+		SiK:       150,
+		SiThick:   100 * units.Micrometer,
+		BondK:     4,
+		BondThick: 15 * units.Micrometer,
+		TIMK:      4,
+		TIMThick:  50 * units.Micrometer,
+	}
+}
+
+// Config describes one stack thermal scenario.
+type Config struct {
+	Layers int
+	Die    floorplan.Rect
+	Nx, Ny int
+	Mat    Materials
+
+	// SinkR is the lumped spreader + heat sink + convection resistance to
+	// ambient (K/W). 0.25 K/W models a good air cooler.
+	SinkR float64
+	// AmbientC is the ambient air temperature in °C.
+	AmbientC float64
+	// Solve configures the linear solver.
+	Solve circuit.SolveOptions
+}
+
+// DefaultConfig returns an air-cooled configuration for the given die.
+// The heat sink attaches to the top of the stack (layer Layers-1), the
+// standard arrangement for face-down 3D stacks.
+func DefaultConfig(die floorplan.Rect, layers int) Config {
+	return Config{
+		Layers:   layers,
+		Die:      die,
+		Nx:       16,
+		Ny:       16,
+		Mat:      DefaultMaterials(),
+		SinkR:    0.25,
+		AmbientC: 40,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Layers < 1:
+		return fmt.Errorf("thermal: need at least 1 layer")
+	case c.Die.W <= 0 || c.Die.H <= 0:
+		return fmt.Errorf("thermal: degenerate die")
+	case c.Nx < 2 || c.Ny < 2:
+		return fmt.Errorf("thermal: mesh too coarse")
+	case c.Mat.SiK <= 0 || c.Mat.BondK <= 0 || c.Mat.TIMK <= 0:
+		return fmt.Errorf("thermal: non-positive conductivity")
+	case c.Mat.SiThick <= 0 || c.Mat.BondThick <= 0 || c.Mat.TIMThick <= 0:
+		return fmt.Errorf("thermal: non-positive thickness")
+	case c.SinkR <= 0:
+		return fmt.Errorf("thermal: non-positive sink resistance")
+	}
+	return nil
+}
+
+// Result holds a solved temperature field.
+type Result struct {
+	TempsC   [][]float64 // per layer, per cell (row-major), °C
+	MaxC     float64     // hotspot temperature, °C
+	MaxLayer int         // layer containing the hotspot
+	SinkC    float64     // heat-sink base temperature, °C
+}
+
+// Solve computes steady-state temperatures for the given per-layer,
+// per-cell power maps (watts; each layer slice has Nx*Ny entries).
+func Solve(cfg Config, powerMaps [][]float64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(powerMaps) != cfg.Layers {
+		return nil, fmt.Errorf("thermal: need %d power maps, got %d", cfg.Layers, len(powerMaps))
+	}
+	nCells := cfg.Nx * cfg.Ny
+	for l, pm := range powerMaps {
+		if len(pm) != nCells {
+			return nil, fmt.Errorf("thermal: layer %d power map has %d cells, want %d", l, len(pm), nCells)
+		}
+	}
+
+	cellW := cfg.Die.W / float64(cfg.Nx)
+	cellH := cfg.Die.H / float64(cfg.Ny)
+	cellArea := cellW * cellH
+
+	// Lateral conduction: G = k * t * (cross section / length).
+	gLatX := cfg.Mat.SiK * cfg.Mat.SiThick * cellH / cellW
+	gLatY := cfg.Mat.SiK * cfg.Mat.SiThick * cellW / cellH
+	// Vertical layer-to-layer: silicon plus bond in series, per cell.
+	rVert := cfg.Mat.SiThick/cfg.Mat.SiK + cfg.Mat.BondThick/cfg.Mat.BondK
+	gVert := cellArea / rVert
+	// Top layer to the sink node through the TIM.
+	gTIM := cellArea / (cfg.Mat.TIMThick / cfg.Mat.TIMK)
+
+	net := circuit.New()
+	net.Nodes(cfg.Layers * nCells)
+	node := func(layer, cell int) int { return layer*nCells + cell }
+	sink := net.Node()
+
+	for l := 0; l < cfg.Layers; l++ {
+		for iy := 0; iy < cfg.Ny; iy++ {
+			for ix := 0; ix < cfg.Nx; ix++ {
+				c := iy*cfg.Nx + ix
+				if ix+1 < cfg.Nx {
+					net.AddResistor(node(l, c), node(l, c+1), 1/gLatX)
+				}
+				if iy+1 < cfg.Ny {
+					net.AddResistor(node(l, c), node(l, c+cfg.Nx), 1/gLatY)
+				}
+				if l+1 < cfg.Layers {
+					net.AddResistor(node(l, c), node(l+1, c), 1/gVert)
+				}
+			}
+		}
+	}
+	top := cfg.Layers - 1
+	for c := 0; c < nCells; c++ {
+		net.AddResistor(node(top, c), sink, 1/gTIM)
+	}
+	// Ambient is the reference; the sink couples to it through SinkR.
+	net.AddRailTie(sink, cfg.SinkR, 0)
+
+	for l, pm := range powerMaps {
+		for c, w := range pm {
+			if w < 0 {
+				return nil, fmt.Errorf("thermal: negative power %g at layer %d cell %d", w, l, c)
+			}
+			if w > 0 {
+				net.AddLoad(circuit.Ground, node(l, c), w)
+			}
+		}
+	}
+
+	sol, err := net.Solve(cfg.Solve)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: %v", err)
+	}
+
+	res := &Result{
+		TempsC: make([][]float64, cfg.Layers),
+		MaxC:   math.Inf(-1),
+		SinkC:  cfg.AmbientC + sol.V(sink),
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		ts := make([]float64, nCells)
+		for c := 0; c < nCells; c++ {
+			t := cfg.AmbientC + sol.V(node(l, c))
+			ts[c] = t
+			if t > res.MaxC {
+				res.MaxC = t
+				res.MaxLayer = l
+			}
+		}
+		res.TempsC[l] = ts
+	}
+	return res, nil
+}
+
+// MaxLayersUnder returns the largest layer count (1..limit) whose hotspot
+// stays below maxC when every layer dissipates the given uniform power
+// map, or 0 if even a single layer exceeds it.
+func MaxLayersUnder(cfg Config, layerPower []float64, maxC float64, limit int) (int, error) {
+	best := 0
+	for n := 1; n <= limit; n++ {
+		c := cfg
+		c.Layers = n
+		maps := make([][]float64, n)
+		for i := range maps {
+			maps[i] = layerPower
+		}
+		r, err := Solve(c, maps)
+		if err != nil {
+			return 0, err
+		}
+		if r.MaxC < maxC {
+			best = n
+		} else {
+			break
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,149 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"voltstack/internal/circuit"
+)
+
+// SiVolHeatCap is the volumetric heat capacity of silicon (J/(m³·K)),
+// which sets the stack's thermal time constants in transient analysis.
+const SiVolHeatCap = 1.63e6
+
+// TransientOptions configures a heating-curve run.
+type TransientOptions struct {
+	DT       float64 // time step (s)
+	Duration float64 // simulated time (s)
+}
+
+// TransientResult holds the heating curve of the stack's critical layer.
+type TransientResult struct {
+	Times    []float64 // seconds
+	HotspotC []float64 // hottest probed temperature per step
+	// TimeToC returns when the hotspot first crosses a threshold; exposed
+	// precomputed for the conventional 100 °C limit.
+	TimeTo100C float64 // seconds; +Inf if never reached within Duration
+	FinalC     float64
+}
+
+// SolveTransient integrates the stack's heating under constant power maps
+// starting from a uniform initial temperature. The network is the
+// steady-state conduction model plus per-cell silicon heat capacity, so
+// the result converges to Solve's temperatures as t → ∞.
+//
+// The probed cells are the bottom layer (farthest from the sink, where
+// the hotspot forms) — the returned curve tracks its maximum.
+func SolveTransient(cfg Config, powerMaps [][]float64, opts TransientOptions) (*TransientResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.DT <= 0 || opts.Duration <= 0 {
+		return nil, fmt.Errorf("thermal: need positive DT and Duration")
+	}
+	nCells := cfg.Nx * cfg.Ny
+	if len(powerMaps) != cfg.Layers {
+		return nil, fmt.Errorf("thermal: need %d power maps, got %d", cfg.Layers, len(powerMaps))
+	}
+	for l, pm := range powerMaps {
+		if len(pm) != nCells {
+			return nil, fmt.Errorf("thermal: layer %d map has %d cells, want %d", l, len(pm), nCells)
+		}
+	}
+
+	cellW := cfg.Die.W / float64(cfg.Nx)
+	cellH := cfg.Die.H / float64(cfg.Ny)
+	cellArea := cellW * cellH
+	cCell := cellArea * cfg.Mat.SiThick * SiVolHeatCap
+
+	gLatX := cfg.Mat.SiK * cfg.Mat.SiThick * cellH / cellW
+	gLatY := cfg.Mat.SiK * cfg.Mat.SiThick * cellW / cellH
+	rVert := cfg.Mat.SiThick/cfg.Mat.SiK + cfg.Mat.BondThick/cfg.Mat.BondK
+	gVert := cellArea / rVert
+	gTIM := cellArea / (cfg.Mat.TIMThick / cfg.Mat.TIMK)
+
+	net := circuit.New()
+	net.Nodes(cfg.Layers * nCells)
+	node := func(layer, cell int) int { return layer*nCells + cell }
+	sink := net.Node()
+
+	for l := 0; l < cfg.Layers; l++ {
+		for iy := 0; iy < cfg.Ny; iy++ {
+			for ix := 0; ix < cfg.Nx; ix++ {
+				c := iy*cfg.Nx + ix
+				if ix+1 < cfg.Nx {
+					net.AddResistor(node(l, c), node(l, c+1), 1/gLatX)
+				}
+				if iy+1 < cfg.Ny {
+					net.AddResistor(node(l, c), node(l, c+cfg.Nx), 1/gLatY)
+				}
+				if l+1 < cfg.Layers {
+					net.AddResistor(node(l, c), node(l+1, c), 1/gVert)
+				}
+				net.AddCapacitor(node(l, c), circuit.Ground, cCell)
+			}
+		}
+	}
+	top := cfg.Layers - 1
+	for c := 0; c < nCells; c++ {
+		net.AddResistor(node(top, c), sink, 1/gTIM)
+	}
+	net.AddRailTie(sink, cfg.SinkR, 0)
+
+	// Constant heating from t=0; the run starts from a uniform ambient
+	// (cold) stack because the transient loads are zero at t=0 and
+	// InitDC is false.
+	for l, pm := range powerMaps {
+		for c, w := range pm {
+			if w < 0 {
+				return nil, fmt.Errorf("thermal: negative power")
+			}
+			if w > 0 {
+				w := w
+				net.AddTransientLoad(circuit.Ground, node(l, c), func(t float64) float64 {
+					if t > 0 {
+						return w
+					}
+					return 0
+				})
+			}
+		}
+	}
+
+	// Probes: the bottom layer (hotspot) cells.
+	probes := make([]int, nCells)
+	for c := range probes {
+		probes[c] = node(0, c)
+	}
+	steps := int(opts.Duration / opts.DT)
+	if steps < 1 {
+		steps = 1
+	}
+	tr, err := net.Transient(circuit.TransientOptions{
+		DT:     opts.DT,
+		Steps:  steps,
+		InitDC: false, // uniform start at StartC
+		Solve:  cfg.Solve,
+	}, probes)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: %v", err)
+	}
+
+	res := &TransientResult{TimeTo100C: math.Inf(1)}
+	offset := cfg.AmbientC
+	for k, t := range tr.Times {
+		hot := math.Inf(-1)
+		for p := range probes {
+			if v := tr.V[p][k] + offset; v > hot {
+				hot = v
+			}
+		}
+		res.Times = append(res.Times, t)
+		res.HotspotC = append(res.HotspotC, hot)
+		if hot >= 100 && math.IsInf(res.TimeTo100C, 1) {
+			res.TimeTo100C = t
+		}
+	}
+	res.FinalC = res.HotspotC[len(res.HotspotC)-1]
+	return res, nil
+}

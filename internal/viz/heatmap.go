@@ -1,0 +1,108 @@
+// Package viz renders scalar fields (voltage maps, temperature maps) as
+// ASCII heatmaps for terminal output — the closest a CLI toolchain gets to
+// the paper's color plots.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DefaultRamp orders glyphs from low to high intensity.
+const DefaultRamp = " .:-=+*#%@"
+
+// Options controls heatmap rendering.
+type Options struct {
+	// Ramp is the low-to-high glyph ramp; DefaultRamp if empty.
+	Ramp string
+	// Lo and Hi fix the color scale; when both are zero the scale spans
+	// the data range.
+	Lo, Hi float64
+	// FlipY renders row 0 at the bottom (chip coordinates) instead of the
+	// top (text order).
+	FlipY bool
+	// CellWidth repeats each glyph horizontally to compensate for
+	// character aspect ratio (default 2).
+	CellWidth int
+	// Label is printed above the map.
+	Label string
+	// ShowScale appends a scale legend.
+	ShowScale bool
+}
+
+// Heatmap renders a row-major nx x ny field. Returns an error message
+// string rather than panicking on malformed input (it is a display aid).
+func Heatmap(values []float64, nx, ny int, opts Options) string {
+	if nx <= 0 || ny <= 0 || len(values) != nx*ny {
+		return fmt.Sprintf("viz: bad field: %d values for %dx%d\n", len(values), nx, ny)
+	}
+	ramp := opts.Ramp
+	if ramp == "" {
+		ramp = DefaultRamp
+	}
+	glyphs := []rune(ramp)
+	width := opts.CellWidth
+	if width <= 0 {
+		width = 2
+	}
+
+	lo, hi := opts.Lo, opts.Hi
+	if lo == 0 && hi == 0 {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, v := range values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+
+	var b strings.Builder
+	if opts.Label != "" {
+		b.WriteString(opts.Label + "\n")
+	}
+	for row := 0; row < ny; row++ {
+		iy := row
+		if opts.FlipY {
+			iy = ny - 1 - row
+		}
+		for ix := 0; ix < nx; ix++ {
+			v := values[iy*nx+ix]
+			t := (v - lo) / span
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			g := glyphs[int(t*float64(len(glyphs)-1)+0.5)]
+			for k := 0; k < width; k++ {
+				b.WriteRune(g)
+			}
+		}
+		b.WriteString("\n")
+	}
+	if opts.ShowScale {
+		fmt.Fprintf(&b, "scale: '%c' = %.4g  ..  '%c' = %.4g\n",
+			glyphs[0], lo, glyphs[len(glyphs)-1], hi)
+	}
+	return b.String()
+}
+
+// Stats summarizes a field for captions: min, mean, max.
+func Stats(values []float64) (lo, mean, hi float64) {
+	if len(values) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		sum += v
+	}
+	return lo, sum / float64(len(values)), hi
+}

@@ -1,0 +1,88 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatmapBasic(t *testing.T) {
+	vals := []float64{0, 1, 2, 3}
+	out := Heatmap(vals, 2, 2, Options{CellWidth: 1})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Lowest value maps to the first ramp glyph, highest to the last.
+	if lines[0][0] != DefaultRamp[0] {
+		t.Errorf("low glyph = %q", lines[0][0])
+	}
+	if lines[1][1] != DefaultRamp[len(DefaultRamp)-1] {
+		t.Errorf("high glyph = %q", lines[1][1])
+	}
+}
+
+func TestHeatmapFlipY(t *testing.T) {
+	vals := []float64{0, 0, 9, 9} // row 0 low, row 1 high
+	up := Heatmap(vals, 2, 2, Options{CellWidth: 1})
+	flipped := Heatmap(vals, 2, 2, Options{CellWidth: 1, FlipY: true})
+	if up == flipped {
+		t.Error("FlipY should change row order")
+	}
+	if !strings.HasPrefix(flipped, "@") {
+		t.Errorf("flipped top row should be the high row: %q", flipped)
+	}
+}
+
+func TestHeatmapFixedScaleAndClamp(t *testing.T) {
+	vals := []float64{-5, 0.5, 10}
+	out := Heatmap(vals, 3, 1, Options{CellWidth: 1, Lo: 0, Hi: 1})
+	if out[0] != DefaultRamp[0] {
+		t.Error("below-scale values should clamp to the low glyph")
+	}
+	if out[2] != DefaultRamp[len(DefaultRamp)-1] {
+		t.Error("above-scale values should clamp to the high glyph")
+	}
+}
+
+func TestHeatmapLabelAndScale(t *testing.T) {
+	out := Heatmap([]float64{1, 2}, 2, 1, Options{Label: "volts", ShowScale: true})
+	if !strings.HasPrefix(out, "volts\n") {
+		t.Error("missing label")
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Error("missing scale legend")
+	}
+}
+
+func TestHeatmapUniformField(t *testing.T) {
+	out := Heatmap([]float64{5, 5, 5, 5}, 2, 2, Options{CellWidth: 1})
+	if strings.Count(out, string(DefaultRamp[0])) != 4 {
+		t.Errorf("uniform field should render uniformly: %q", out)
+	}
+}
+
+func TestHeatmapBadInput(t *testing.T) {
+	if out := Heatmap([]float64{1, 2}, 3, 1, Options{}); !strings.Contains(out, "bad field") {
+		t.Error("bad input should be reported, not panic")
+	}
+	if out := Heatmap(nil, 0, 0, Options{}); !strings.Contains(out, "bad field") {
+		t.Error("empty input should be reported")
+	}
+}
+
+func TestHeatmapCellWidth(t *testing.T) {
+	out := Heatmap([]float64{1}, 1, 1, Options{CellWidth: 3})
+	if len(strings.TrimRight(out, "\n")) != 3 {
+		t.Errorf("cell width not honored: %q", out)
+	}
+}
+
+func TestStats(t *testing.T) {
+	lo, mean, hi := Stats([]float64{1, 2, 3, 6})
+	if lo != 1 || hi != 6 || mean != 3 {
+		t.Errorf("stats = %g %g %g", lo, mean, hi)
+	}
+	if lo, mean, hi := Stats(nil); lo != 0 || mean != 0 || hi != 0 {
+		t.Error("empty stats should be zero")
+	}
+}

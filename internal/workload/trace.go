@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Trace generation: the box-plot populations of Fig. 7 are unordered
+// samples; real programs move through phases. The two-state Markov model
+// here produces per-core activity time series whose marginal distribution
+// stays inside the application's calibrated band while adding the
+// temporal correlation (sticky compute/memory phases) that a quasi-static
+// noise analysis needs.
+
+// TraceOptions tunes the phase model.
+type TraceOptions struct {
+	// StayProb is the probability of remaining in the current phase each
+	// step (phase dwell ~ 1/(1-StayProb) steps). Default 0.9.
+	StayProb float64
+	// JitterFrac scatters samples within the phase's half-band.
+	// Default 0.5.
+	JitterFrac float64
+}
+
+func (o TraceOptions) withDefaults() TraceOptions {
+	if o.StayProb == 0 {
+		o.StayProb = 0.9
+	}
+	if o.JitterFrac == 0 {
+		o.JitterFrac = 0.5
+	}
+	return o
+}
+
+// Trace samples a per-step activity series for the application: a sticky
+// two-phase (high/low) Markov chain over the app's activity band, with
+// intra-phase jitter. Deterministic in (app, steps, seed).
+func (a App) Trace(steps int, seed int64, opts TraceOptions) ([]float64, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 step")
+	}
+	opts = opts.withDefaults()
+	if opts.StayProb < 0 || opts.StayProb >= 1 {
+		return nil, fmt.Errorf("workload: StayProb %g out of [0,1)", opts.StayProb)
+	}
+	rng := rand.New(rand.NewSource(seed + int64(stableHash(a.Name))*7919))
+
+	mid := (a.MinAct + a.MaxAct) / 2
+	half := (a.MaxAct - a.MinAct) / 2
+	out := make([]float64, steps)
+	high := rng.Float64() < 0.5
+	for i := range out {
+		if rng.Float64() >= opts.StayProb {
+			high = !high
+		}
+		base := mid - half/2
+		if high {
+			base = mid + half/2
+		}
+		jitter := (rng.Float64()*2 - 1) * half / 2 * opts.JitterFrac
+		v := base + jitter
+		if v < a.MinAct {
+			v = a.MinAct
+		}
+		if v > a.MaxAct {
+			v = a.MaxAct
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// TraceMatrix samples independent traces for a (layers x cores) grid of
+// job slots, cycling applications across slots as JobsFromSuite does.
+// The result is indexed [step][layer][core] — ready to feed the PDN
+// solver one step at a time.
+func (s Suite) TraceMatrix(layers, cores, steps int, seed int64, opts TraceOptions) ([][][]float64, error) {
+	if layers < 1 || cores < 1 {
+		return nil, fmt.Errorf("workload: invalid grid %dx%d", layers, cores)
+	}
+	traces := make([][]float64, layers*cores)
+	for slot := range traces {
+		app := s[slot%len(s)].App
+		tr, err := app.Trace(steps, seed+int64(slot)*104729, opts)
+		if err != nil {
+			return nil, err
+		}
+		traces[slot] = tr
+	}
+	out := make([][][]float64, steps)
+	for k := 0; k < steps; k++ {
+		grid := make([][]float64, layers)
+		for l := 0; l < layers; l++ {
+			row := make([]float64, cores)
+			for c := 0; c < cores; c++ {
+				row[c] = traces[l*cores+c][k]
+			}
+			grid[l] = row
+		}
+		out[k] = grid
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTraceDeterministicAndBounded(t *testing.T) {
+	app := ParsecApps()[2]
+	a, err := app.Trace(500, 11, TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := app.Trace(500, 11, TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic")
+		}
+		if a[i] < app.MinAct || a[i] > app.MaxAct {
+			t.Fatalf("step %d: %g outside [%g, %g]", i, a[i], app.MinAct, app.MaxAct)
+		}
+	}
+}
+
+func TestTracePhasesAreSticky(t *testing.T) {
+	// With StayProb 0.9 the lag-1 autocorrelation must be clearly
+	// positive — that is the point of the phase model.
+	app := ParsecApps()[1] // bodytrack: wide band
+	tr, err := app.Trace(4000, 3, TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range tr {
+		mean += v
+	}
+	mean /= float64(len(tr))
+	var num, den float64
+	for i := 1; i < len(tr); i++ {
+		num += (tr[i] - mean) * (tr[i-1] - mean)
+	}
+	for _, v := range tr {
+		den += (v - mean) * (v - mean)
+	}
+	if ac := num / den; ac < 0.3 {
+		t.Errorf("lag-1 autocorrelation = %g, want sticky (> 0.3)", ac)
+	}
+}
+
+func TestTraceVisitsBothPhases(t *testing.T) {
+	app := ParsecApps()[1]
+	tr, err := app.Trace(2000, 5, TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := (app.MinAct + app.MaxAct) / 2
+	lo, hi := 0, 0
+	for _, v := range tr {
+		if v < mid {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	if lo < len(tr)/10 || hi < len(tr)/10 {
+		t.Errorf("phases unbalanced: %d low, %d high", lo, hi)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	app := ParsecApps()[0]
+	if _, err := app.Trace(0, 1, TraceOptions{}); err == nil {
+		t.Error("0 steps not caught")
+	}
+	if _, err := app.Trace(10, 1, TraceOptions{StayProb: 1.5}); err == nil {
+		t.Error("bad StayProb not caught")
+	}
+}
+
+func TestTraceMatrixShape(t *testing.T) {
+	suite := DefaultSuite(1)
+	m, err := suite.TraceMatrix(4, 3, 20, 9, TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 20 || len(m[0]) != 4 || len(m[0][0]) != 3 {
+		t.Fatalf("shape %d x %d x %d", len(m), len(m[0]), len(m[0][0]))
+	}
+	for _, grid := range m {
+		for _, row := range grid {
+			for _, v := range row {
+				if v <= 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("activity %g out of range", v)
+				}
+			}
+		}
+	}
+	if _, err := suite.TraceMatrix(0, 3, 5, 1, TraceOptions{}); err == nil {
+		t.Error("invalid grid not caught")
+	}
+}
+
+func TestTraceMatrixSlotsIndependent(t *testing.T) {
+	suite := DefaultSuite(1)
+	m, err := suite.TraceMatrix(2, 2, 200, 9, TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two slots running the same app must still follow different streams.
+	same := 0
+	for k := range m {
+		if m[k][0][0] == m[k][1][1] {
+			same++
+		}
+	}
+	if same > len(m)/4 {
+		t.Errorf("%d/%d identical samples across slots", same, len(m))
+	}
+}
