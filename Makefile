@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test test-short test-race bench bench-parallel fuzz golden
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# test-race is the concurrency gate: the worker pool, the parallel figure
+# drivers and the Monte Carlo fan-out all run under the race detector.
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$'
+
+# bench-parallel runs only the serial-vs-parallel pairs (Fig. 5a, the
+# explore sweep, the EM Monte Carlo) for a quick speedup readout.
+bench-parallel:
+	$(GO) test -bench 'Serial$$|Parallel$$' -run '^$$' .
+
+fuzz:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzParseCSV -fuzztime 30s
+
+# golden regenerates the pinned paper-number snapshots after a deliberate
+# model change.
+golden:
+	$(GO) test ./internal/core -run TestGolden -update

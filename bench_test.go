@@ -14,6 +14,7 @@ import (
 
 	"voltstack/internal/circuit"
 	"voltstack/internal/core"
+	"voltstack/internal/em"
 	"voltstack/internal/explore"
 	"voltstack/internal/pdngrid"
 	"voltstack/internal/sc"
@@ -399,6 +400,81 @@ func BenchmarkDesignSpaceExploration(b *testing.B) {
 	}
 	b.ReportMetric(front, "pareto-size")
 }
+
+// --- parallel vs. serial -------------------------------------------------
+//
+// Each pair runs the same fan-out once serially (Workers = 1) and once on
+// the default pool (Workers = 0: GOMAXPROCS or VOLTSTACK_WORKERS), so the
+// parallel speedup is directly measurable with
+//
+//	go test -bench 'Serial|Parallel' -run '^$'
+//
+// The results are identical in both modes — only the wall clock moves.
+
+func benchFig5a(b *testing.B, workers int) {
+	s := coarse()
+	s.Workers = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig5a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5aSerial is the single-worker baseline of the Fig. 5a
+// scenario × layer grid (17 independent PDN solves).
+func BenchmarkFig5aSerial(b *testing.B) { benchFig5a(b, 1) }
+
+// BenchmarkFig5aParallel runs the same grid on the default worker pool.
+func BenchmarkFig5aParallel(b *testing.B) { benchFig5a(b, 0) }
+
+func benchExploreSweep(b *testing.B, workers int) {
+	space := explore.DefaultSpace()
+	space.Params.GridNx, space.Params.GridNy = 16, 16
+	space.PadFractions = []float64{0.5}
+	space.TSVs = space.TSVs[:2]
+	space.Workers = workers
+	var front float64
+	for i := 0; i < b.N; i++ {
+		res, err := space.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		front = float64(len(res.Pareto))
+	}
+	b.ReportMetric(front, "pareto-size")
+}
+
+// BenchmarkExploreSweepSerial is the single-worker design-space sweep
+// (10 design evaluations, each several PDN solves).
+func BenchmarkExploreSweepSerial(b *testing.B) { benchExploreSweep(b, 1) }
+
+// BenchmarkExploreSweepParallel runs the sweep on the default pool.
+func BenchmarkExploreSweepParallel(b *testing.B) { benchExploreSweep(b, 0) }
+
+func benchEMMonteCarlo(b *testing.B, workers int) {
+	g := em.NewGroup(0.4)
+	for i := 0; i < 400; i++ {
+		g.AddT50(500 + 10*float64(i))
+	}
+	var mttf float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		mttf, err = g.SimulateMedianLifetimeWorkers(20000, 1, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mttf, "mc-median-lifetime")
+}
+
+// BenchmarkEMMonteCarloSerial draws 20k trials of a 400-conductor group
+// on one worker.
+func BenchmarkEMMonteCarloSerial(b *testing.B) { benchEMMonteCarlo(b, 1) }
+
+// BenchmarkEMMonteCarloParallel splits the same trials across the
+// default pool; the per-trial RNG streams keep the median bit-identical.
+func BenchmarkEMMonteCarloParallel(b *testing.B) { benchEMMonteCarlo(b, 0) }
 
 // BenchmarkAblationTSVAllocation sweeps the Table 2 TSV topologies on the
 // regular PDN, the allocation-vs-noise tradeoff of Sec. 4.2.

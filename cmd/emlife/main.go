@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	emlife [-layers N] [-tsv dense|sparse|few] [-padfrac F] [-grid N]
+//	emlife [-layers N] [-tsv dense|sparse|few] [-padfrac F] [-grid N] [-workers N]
+//
+// The regular and voltage-stacked scenarios are solved concurrently.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"voltstack/internal/core"
+	"voltstack/internal/parallel"
 	"voltstack/internal/pdngrid"
 )
 
@@ -21,6 +25,7 @@ func main() {
 	tsvName := flag.String("tsv", "few", "TSV topology: dense, sparse or few")
 	padFrac := flag.Float64("padfrac", 0.25, "fraction of C4 pad sites used for power")
 	grid := flag.Int("grid", 32, "PDN mesh resolution (NxN)")
+	workers := flag.Int("workers", 0, "worker-pool size (0: GOMAXPROCS, or VOLTSTACK_WORKERS if set)")
 	flag.Parse()
 
 	var tsv pdngrid.TSVTopology
@@ -38,6 +43,7 @@ func main() {
 
 	s := core.NewStudy()
 	s.Params.GridNx, s.Params.GridNy = *grid, *grid
+	s.Workers = *workers
 
 	type point struct {
 		name  string
@@ -51,33 +57,34 @@ func main() {
 	fmt.Printf("EM lifetime comparison: %d layers, %s TSV, %.0f%% power pads (all layers active)\n",
 		*layers, tsv.Name, 100**padFrac)
 	type res struct{ tsvLife, c4Life float64 }
-	results := map[string]res{}
-	for _, pt := range points {
+	results, err := parallel.Map(context.Background(), parallel.NewPool(*workers), points, func(_ int, pt point) (res, error) {
 		p, err := pt.build()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "emlife:", err)
-			os.Exit(1)
+			return res{}, err
 		}
 		r, err := p.Solve(pdngrid.UniformActivities(*layers, s.Chip.NumCores(), 1))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "emlife:", err)
-			os.Exit(1)
+			return res{}, err
 		}
 		tl, err := s.TSVLifetime(r)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "emlife:", err)
-			os.Exit(1)
+			return res{}, err
 		}
 		cl, err := s.C4Lifetime(r)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "emlife:", err)
-			os.Exit(1)
+			return res{}, err
 		}
-		results[pt.name] = res{tl, cl}
-		fmt.Printf("  %-16s TSV-array lifetime %.3g, C4-array lifetime %.3g (arbitrary units)\n",
-			pt.name, tl, cl)
+		return res{tl, cl}, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emlife:", err)
+		os.Exit(1)
 	}
-	reg, vs := results["regular"], results["voltage-stacked"]
+	for i, pt := range points {
+		fmt.Printf("  %-16s TSV-array lifetime %.3g, C4-array lifetime %.3g (arbitrary units)\n",
+			pt.name, results[i].tsvLife, results[i].c4Life)
+	}
+	reg, vs := results[0], results[1]
 	fmt.Printf("  V-S advantage: TSV %.2fx, C4 %.2fx\n",
 		vs.tsvLife/reg.tsvLife, vs.c4Life/reg.c4Life)
 }

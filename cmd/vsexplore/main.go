@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	vsexplore [-exp all|table1|table2|fig3a|fig3b|fig5a|fig5b|fig6|fig7|fig8|thermal|headlines] [-coarse]
+//	vsexplore [-exp all|table1|table2|fig3a|fig3b|fig5a|fig5b|fig6|fig7|fig8|thermal|headlines] [-coarse] [-workers N]
 //
 // -coarse runs the PDN experiments on a 16x16 mesh (seconds instead of
 // tens of seconds); headline numbers are stable across both resolutions.
+//
+// Independent experiments run concurrently, and each experiment's inner
+// fan-out (scenario grids, imbalance sweeps, Monte Carlo trials) is
+// parallel too; -workers (or VOLTSTACK_WORKERS) bounds the concurrency.
+// Every number printed is identical for any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,18 +23,21 @@ import (
 	"time"
 
 	"voltstack/internal/core"
+	"voltstack/internal/parallel"
 )
 
 func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (fig3a/fig3b/fig5a/fig5b/fig6/fig7/fig8 only)")
 	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig3a, fig3b, fig5a, fig5b, fig6, fig7, fig8, thermal, headlines, ext-transient, ext-converters, ext-scheduling, ext-electrothermal, ext-thermal-em, ext-guardband, ext-trace-noise, ext-scaling, ext-dvfs, ext-decap-split)")
 	coarse := flag.Bool("coarse", false, "use a coarse 16x16 PDN mesh for speed")
+	workers := flag.Int("workers", 0, "worker-pool size (0: GOMAXPROCS, or VOLTSTACK_WORKERS if set)")
 	flag.Parse()
 
 	s := core.NewStudy()
 	if *coarse {
 		s.Coarse()
 	}
+	s.Workers = *workers
 
 	csvRunners := map[string]func() (string, error){
 		"fig3a": func() (string, error) {
@@ -225,28 +234,39 @@ func main() {
 	start := time.Now()
 	if *csvOut {
 		for _, name := range selected {
-			run, ok := csvRunners[name]
-			if !ok {
+			if _, ok := csvRunners[name]; !ok {
 				fmt.Fprintf(os.Stderr, "vsexplore: no CSV form for %q\n", name)
 				os.Exit(2)
 			}
-			out, err := run()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "vsexplore: %s: %v\n", name, err)
-				os.Exit(1)
-			}
-			fmt.Print(out)
 		}
-		return
 	}
-	for _, name := range selected {
-		out, err := runners[name]()
+
+	// Independent experiments run concurrently on the shared pool; the
+	// rendered outputs come back in selection order, so stdout is
+	// byte-identical to a serial run.
+	pool := parallel.NewPool(*workers)
+	outputs, err := parallel.Map(context.Background(), pool, selected, func(_ int, name string) (string, error) {
+		run := runners[name]
+		if *csvOut {
+			run = csvRunners[name]
+		}
+		out, err := run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "vsexplore: %s: %v\n", name, err)
-			os.Exit(1)
+			return "", fmt.Errorf("%s: %v", name, err)
 		}
-		fmt.Print(out)
-		fmt.Println()
+		return out, nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vsexplore: %v\n", err)
+		os.Exit(1)
 	}
-	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+	for _, out := range outputs {
+		fmt.Print(out)
+		if !*csvOut {
+			fmt.Println()
+		}
+	}
+	if !*csvOut {
+		fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+	}
 }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseCSVRoundTrip(t *testing.T) {
+	fig := &Fig5{
+		Layers: []int{2, 4, 6, 8},
+		Series: []Fig5Series{
+			{Label: "Reg", Values: []float64{1.5, 1.1, 0.8, 0.7}},
+			{Label: "V-S", Values: []float64{1, 0.99, 0.985, 0.98}},
+		},
+	}
+	tbl, err := ParseCSV(CSVFig5(fig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Header) != 3 || len(tbl.Rows) != 4 {
+		t.Fatalf("shape %dx%d", len(tbl.Rows), len(tbl.Header))
+	}
+	col, err := tbl.Col("V-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tbl.Float(3, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0.98 {
+		t.Errorf("V-S at 8 layers = %g", v)
+	}
+}
+
+func TestParseCSVNaNField(t *testing.T) {
+	fig := &Fig6{
+		Imbalances:   []float64{0, 1},
+		VS:           map[int][]float64{2: {1.2, math.NaN()}},
+		RegularIRPct: map[string]float64{"Dense": 4.9},
+	}
+	tbl, err := ParseCSV(CSVFig6(fig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tbl.Float(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(v) {
+		t.Errorf("empty field should decode as NaN, got %g", v)
+	}
+}
+
+func TestParseCSVMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty document": "",
+		"ragged row":     "a,b,c\n1,2\n",
+		"bare quote":     "a,b\n\"unterminated\n",
+		"quote in field": "a,b\n1,x\"y\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseCSV(in); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseCSVFloatErrors(t *testing.T) {
+	tbl, err := ParseCSV("x,y\n1,2\nhuge,1e999\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Float(1, 0); err == nil {
+		t.Error("non-numeric field should error")
+	}
+	if _, err := tbl.Float(1, 1); err == nil {
+		t.Error("overflowing field should error, not silently return Inf")
+	}
+	if _, err := tbl.Float(5, 0); err == nil {
+		t.Error("row out of range should error")
+	}
+	if _, err := tbl.Float(0, 9); err == nil {
+		t.Error("col out of range should error")
+	}
+	if _, err := tbl.Col("nope"); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+// FuzzParseCSV asserts the parser's crash-safety contract: any input —
+// malformed rows, empty fields, huge values, raw bytes — either parses
+// into a rectangular table or returns an error; it never panics. Every
+// cell of a successfully parsed table must be readable through Float
+// (value or error, no panic).
+func FuzzParseCSV(f *testing.F) {
+	f.Add("layers,Reg,V-S\n2,1.5,1\n8,0.7,0.98\n")
+	f.Add("imbalance,vs_2conv_ir_pct\n0,1.2\n1,\n")
+	f.Add("a,b\n1,2\n3\n")      // ragged
+	f.Add("\"\n")               // bare quote
+	f.Add("x\n1e999\n")         // overflow
+	f.Add("x\n-1e-999\n")       // underflow
+	f.Add(",,,\n,,,\n")         // empty fields
+	f.Add("a;b;c\n1;2;3\n")     // wrong delimiter
+	f.Add("héadér,✓\nvalü,∞\n") // non-ASCII
+	f.Add("x\r\n1\r\n")         // CRLF
+	f.Add(strings.Repeat("9", 4096) + "\n" + strings.Repeat("9", 4096) + "\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tbl, err := ParseCSV(in)
+		if err != nil {
+			return
+		}
+		if len(tbl.Header) == 0 {
+			t.Fatal("successful parse returned empty header")
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Fatalf("ragged row survived parsing: %d fields, header %d", len(row), len(tbl.Header))
+			}
+		}
+		for r := range tbl.Rows {
+			for c := range tbl.Header {
+				// Float must return a value or an error for any field bytes,
+				// never panic.
+				_, _ = tbl.Float(r, c)
+			}
+		}
+	})
+}

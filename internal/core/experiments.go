@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"voltstack/internal/floorplan"
+	"voltstack/internal/parallel"
 	"voltstack/internal/pdngrid"
 	"voltstack/internal/sc"
 	"voltstack/internal/spice"
@@ -142,42 +144,41 @@ func (s *Study) Fig5a() (*Fig5, error) {
 		{"V-S PDN, Few TSV", func(l int) (*pdngrid.PDN, error) { return s.VoltageStackedPDN(l, 4, pdngrid.FewTSV(), padFrac) }},
 	}
 
-	fig := &Fig5{Layers: layers}
-	var base float64
-	// The normalization base: the 2-layer V-S point.
-	{
-		p, err := scenarios[3].build(2)
+	// Flatten the scenario × layer grid, plus the normalization base (the
+	// 2-layer V-S point) at index 0, into independent solves for the
+	// worker pool; every task builds its own PDN.
+	type task struct{ si, layer int }
+	tasks := []task{{3, 2}}
+	for si := range scenarios {
+		for _, l := range layers {
+			tasks = append(tasks, task{si, l})
+		}
+	}
+	lives, err := parallel.Map(context.Background(), s.pool(), tasks, func(_ int, tk task) (float64, error) {
+		p, err := scenarios[tk.si].build(tk.layer)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		r, err := solveUniform(p)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		base, err = s.TSVLifetime(r)
-		if err != nil {
-			return nil, err
-		}
+		return s.TSVLifetime(r)
+	})
+	if err != nil {
+		return nil, err
 	}
+	base := lives[0]
 	if err := checkPositive("fig5a base lifetime", base); err != nil {
 		return nil, err
 	}
+	fig := &Fig5{Layers: layers}
+	i := 1
 	for _, sc := range scenarios {
 		series := Fig5Series{Label: sc.label}
-		for _, l := range layers {
-			p, err := sc.build(l)
-			if err != nil {
-				return nil, err
-			}
-			r, err := solveUniform(p)
-			if err != nil {
-				return nil, err
-			}
-			life, err := s.TSVLifetime(r)
-			if err != nil {
-				return nil, err
-			}
-			series.Values = append(series.Values, life/base)
+		for range layers {
+			series.Values = append(series.Values, lives[i]/base)
+			i++
 		}
 		fig.Series = append(fig.Series, series)
 	}
@@ -190,33 +191,48 @@ func (s *Study) Fig5a() (*Fig5, error) {
 // robustness is insensitive to it. Normalized to the 2-layer V-S point.
 func (s *Study) Fig5b() (*Fig5, error) {
 	layers := s.scanLayers()
-	fig := &Fig5{Layers: layers}
+	fracs := []float64{0.25, 0.5, 0.75, 1.0}
 
-	vsBase, err := s.c4LifetimeAt(pdngrid.VoltageStacked, 2, 0.25)
+	// Flatten every series point, plus the normalization base (2-layer
+	// V-S at 25 %) at index 0, into independent solves.
+	type task struct {
+		kind   pdngrid.Kind
+		layers int
+		frac   float64
+	}
+	tasks := []task{{pdngrid.VoltageStacked, 2, 0.25}}
+	for _, frac := range fracs {
+		for _, l := range layers {
+			tasks = append(tasks, task{pdngrid.Regular, l, frac})
+		}
+	}
+	for _, l := range layers {
+		tasks = append(tasks, task{pdngrid.VoltageStacked, l, 0.25})
+	}
+	lives, err := parallel.Map(context.Background(), s.pool(), tasks, func(_ int, tk task) (float64, error) {
+		return s.c4LifetimeAt(tk.kind, tk.layers, tk.frac)
+	})
 	if err != nil {
 		return nil, err
 	}
+	vsBase := lives[0]
 	if err := checkPositive("fig5b base lifetime", vsBase); err != nil {
 		return nil, err
 	}
-	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+	fig := &Fig5{Layers: layers}
+	i := 1
+	for _, frac := range fracs {
 		series := Fig5Series{Label: fmt.Sprintf("Reg. PDN (%d%% Power C4)", int(frac*100))}
-		for _, l := range layers {
-			life, err := s.c4LifetimeAt(pdngrid.Regular, l, frac)
-			if err != nil {
-				return nil, err
-			}
-			series.Values = append(series.Values, life/vsBase)
+		for range layers {
+			series.Values = append(series.Values, lives[i]/vsBase)
+			i++
 		}
 		fig.Series = append(fig.Series, series)
 	}
 	series := Fig5Series{Label: "V-S PDN (25% Power C4)"}
-	for _, l := range layers {
-		life, err := s.c4LifetimeAt(pdngrid.VoltageStacked, l, 0.25)
-		if err != nil {
-			return nil, err
-		}
-		series.Values = append(series.Values, life/vsBase)
+	for range layers {
+		series.Values = append(series.Values, lives[i]/vsBase)
+		i++
 	}
 	fig.Series = append(fig.Series, series)
 	return fig, nil
@@ -253,27 +269,26 @@ type VSSweepPoint struct {
 }
 
 // VSSweep sweeps workload imbalance for one converter allocation on the
-// deepest stack.
+// deepest stack. The sweep points are solved concurrently: Solve never
+// mutates the built PDN, so the points share one network description.
 func (s *Study) VSSweep(convPerCore int, imbalances []float64) ([]VSSweepPoint, error) {
 	p, err := s.VoltageStackedPDN(s.MaxLayers, convPerCore, pdngrid.FewTSV(), 0.5)
 	if err != nil {
 		return nil, err
 	}
-	var out []VSSweepPoint
-	for _, imb := range imbalances {
+	return parallel.Map(context.Background(), s.pool(), imbalances, func(_ int, imb float64) (VSSweepPoint, error) {
 		r, err := solveInterleaved(p, imb)
 		if err != nil {
-			return nil, err
+			return VSSweepPoint{}, err
 		}
-		out = append(out, VSSweepPoint{
+		return VSSweepPoint{
 			Imbalance:  imb,
 			MaxIRPct:   100 * r.MaxIRDropFrac,
 			Efficiency: r.Efficiency,
 			MaxConvMA:  r.MaxConverterCurrent / units.Milliampere,
 			OverLimit:  r.OverLimit,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Fig6 holds the voltage-noise evaluation of the 8-layer processor.
@@ -315,16 +330,23 @@ func (s *Study) Fig6() (*Fig6, error) {
 		}
 		fig.VS[n] = series
 	}
-	for _, tsv := range []pdngrid.TSVTopology{pdngrid.DenseTSV(), pdngrid.SparseTSV(), pdngrid.FewTSV()} {
+	topos := []pdngrid.TSVTopology{pdngrid.DenseTSV(), pdngrid.SparseTSV(), pdngrid.FewTSV()}
+	lines, err := parallel.Map(context.Background(), s.pool(), topos, func(_ int, tsv pdngrid.TSVTopology) (float64, error) {
 		p, err := s.RegularPDN(s.MaxLayers, tsv, 0.5)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		r, err := solveUniform(p)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		fig.RegularIRPct[tsv.Name] = 100 * r.MaxIRDropFrac
+		return 100 * r.MaxIRDropFrac, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, tsv := range topos {
+		fig.RegularIRPct[tsv.Name] = lines[i]
 	}
 	return fig, nil
 }
@@ -491,13 +513,40 @@ type Headlines struct {
 }
 
 // Headlines computes the summary claims from the underlying experiments.
+// Its four independent inputs — Fig. 5a, Fig. 5b, the fine-grained
+// imbalance sweep and the dense-PDN reference solve — run concurrently on
+// the study's pool; each is itself deterministic, so so is the summary.
 func (s *Study) Headlines() (*Headlines, error) {
 	h := &Headlines{}
 
-	f5a, err := s.Fig5a()
+	// Fine-grained imbalance sweep for the crossover and the 65% delta.
+	imbs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 0.9, 1.0}
+	var (
+		f5a, f5b *Fig5
+		pts      []VSSweepPoint
+		dense    float64
+	)
+	err := parallel.Go(context.Background(), s.pool(),
+		func() (err error) { f5a, err = s.Fig5a(); return },
+		func() (err error) { f5b, err = s.Fig5b(); return },
+		func() (err error) { pts, err = s.VSSweep(8, imbs); return },
+		func() error {
+			pDense, err := s.RegularPDN(s.MaxLayers, pdngrid.DenseTSV(), 0.5)
+			if err != nil {
+				return err
+			}
+			rDense, err := solveUniform(pDense)
+			if err != nil {
+				return err
+			}
+			dense = 100 * rDense.MaxIRDropFrac
+			return nil
+		},
+	)
 	if err != nil {
 		return nil, err
 	}
+
 	series := map[string][]float64{}
 	for _, sr := range f5a.Series {
 		series[sr.Label] = sr.Values
@@ -509,10 +558,6 @@ func (s *Study) Headlines() (*Headlines, error) {
 	h.VSTSVDegradation = 1 - vs[last]/vs[0]
 	h.TwoLayerRegOverVS = regFew[0] / vs[0]
 
-	f5b, err := s.Fig5b()
-	if err != nil {
-		return nil, err
-	}
 	var reg25, vs25 []float64
 	for _, sr := range f5b.Series {
 		switch sr.Label {
@@ -524,21 +569,6 @@ func (s *Study) Headlines() (*Headlines, error) {
 	}
 	h.C4GapAt8Layers = vs25[last] / reg25[last]
 
-	// Fine-grained imbalance sweep for the crossover and the 65% delta.
-	imbs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.8, 0.9, 1.0}
-	pts, err := s.VSSweep(8, imbs)
-	if err != nil {
-		return nil, err
-	}
-	pDense, err := s.RegularPDN(s.MaxLayers, pdngrid.DenseTSV(), 0.5)
-	if err != nil {
-		return nil, err
-	}
-	rDense, err := solveUniform(pDense)
-	if err != nil {
-		return nil, err
-	}
-	dense := 100 * rDense.MaxIRDropFrac
 	h.CrossoverImbalance = 0
 	for _, pt := range pts {
 		if !pt.OverLimit && pt.MaxIRPct <= dense {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"voltstack/internal/em"
+	"voltstack/internal/parallel"
 	"voltstack/internal/pdngrid"
 	"voltstack/internal/power"
 	"voltstack/internal/sc"
@@ -30,6 +31,12 @@ type Study struct {
 
 	// MaxLayers is the deepest stack evaluated in the scaling studies.
 	MaxLayers int
+
+	// Workers bounds the number of PDN solves run concurrently by the
+	// figure drivers; < 1 selects parallel.DefaultWorkers (GOMAXPROCS,
+	// overridable via VOLTSTACK_WORKERS). Every experiment returns the
+	// same values for every worker count.
+	Workers int
 }
 
 // NewStudy returns the paper's configuration: the 16-core A9-class layer,
@@ -49,6 +56,9 @@ func NewStudy() *Study {
 		MaxLayers: 8,
 	}
 }
+
+// pool returns the study's worker pool for figure-level fan-outs.
+func (s *Study) pool() *parallel.Pool { return parallel.NewPool(s.Workers) }
 
 // Coarse lowers the PDN mesh resolution for fast tests and smoke runs.
 func (s *Study) Coarse() *Study {

@@ -1,9 +1,12 @@
 package em
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
+
+	"voltstack/internal/parallel"
 )
 
 // SimulateMedianLifetime estimates the group's expected EM-damage-free
@@ -14,9 +17,21 @@ import (
 // grow) and as the starting point for failure analyses the closed form
 // cannot express (correlated wearout, replacement policies).
 //
+// Trials are split across a worker pool sized by parallel.DefaultWorkers
+// (GOMAXPROCS, overridable via VOLTSTACK_WORKERS). Every trial draws
+// from its own RNG stream derived from (seed, trial index) by a SplitMix64
+// hash, so the estimate depends only on (group, trials, seed) — it is
+// bit-identical for any worker count and any scheduling.
+//
 // Unstressed conductors (infinite medians) never fail and are skipped.
-// Deterministic in (group, trials, seed).
 func (g *Group) SimulateMedianLifetime(trials int, seed int64) (float64, error) {
+	return g.SimulateMedianLifetimeWorkers(trials, seed, 0)
+}
+
+// SimulateMedianLifetimeWorkers is SimulateMedianLifetime with an
+// explicit worker count; workers < 1 selects the default. The result is
+// identical for every worker count (see SimulateMedianLifetime).
+func (g *Group) SimulateMedianLifetimeWorkers(trials int, seed int64, workers int) (float64, error) {
 	finite := make([]float64, 0, len(g.t50s))
 	for _, t := range g.t50s {
 		if !math.IsInf(t, 1) {
@@ -29,9 +44,9 @@ func (g *Group) SimulateMedianLifetime(trials int, seed int64) (float64, error) 
 	if trials < 1 {
 		trials = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
 	minima := make([]float64, trials)
-	for tr := range minima {
+	err := parallel.NewPool(workers).ForEachN(context.Background(), trials, func(tr int) error {
+		rng := rand.New(newTrialSource(seed, int64(tr)))
 		first := math.Inf(1)
 		for _, t50 := range finite {
 			// Lognormal draw: t = t50 · exp(σ·Z).
@@ -41,6 +56,10 @@ func (g *Group) SimulateMedianLifetime(trials int, seed int64) (float64, error) 
 			}
 		}
 		minima[tr] = first
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	sort.Float64s(minima)
 	mid := len(minima) / 2
@@ -49,3 +68,37 @@ func (g *Group) SimulateMedianLifetime(trials int, seed int64) (float64, error) 
 	}
 	return (minima[mid-1] + minima[mid]) / 2, nil
 }
+
+// splitmix is a SplitMix64 generator (Steele et al., "Fast splittable
+// pseudorandom number generators"). One instance per Monte Carlo trial
+// gives each trial an independent, cheaply-constructed stream: unlike
+// rand.NewSource there is no expensive seeding step, so deriving one
+// source per trial costs a few arithmetic ops.
+type splitmix struct{ state uint64 }
+
+// newTrialSource derives the stream for one (seed, trial) pair. Both
+// inputs are finalizer-hashed so adjacent seeds and adjacent trials land
+// at unrelated points of the SplitMix64 cycle (a plain seed+trial start
+// would make trial t+1 an offset-by-one replay of trial t).
+func newTrialSource(seed, trial int64) *splitmix {
+	z := mix64(uint64(seed))
+	z = mix64(z ^ mix64(uint64(trial)+0x9e3779b97f4a7c15))
+	return &splitmix{state: z}
+}
+
+// mix64 is the SplitMix64 output finalizer, a strong 64-bit bijection.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix64(s.state)
+}
+
+func (s *splitmix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed is a no-op: a trial stream is fixed at construction.
+func (s *splitmix) Seed(int64) {}

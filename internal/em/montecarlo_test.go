@@ -98,6 +98,66 @@ func TestMonteCarloWeakestLinkOrdering(t *testing.T) {
 	}
 }
 
+// TestMonteCarloWorkerEquivalence is the determinism contract of the
+// parallel Monte Carlo: because every trial draws from its own
+// (seed, trial)-derived RNG stream, the estimate is bit-identical for
+// any worker count.
+func TestMonteCarloWorkerEquivalence(t *testing.T) {
+	g := NewGroup(0.4)
+	for i := 0; i < 50; i++ {
+		g.AddT50(300 + 25*float64(i))
+	}
+	for _, trials := range []int{1, 2, 999, 1000} {
+		ref, err := g.SimulateMedianLifetimeWorkers(trials, 11, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := g.SimulateMedianLifetimeWorkers(trials, 11, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Errorf("trials=%d workers=%d: %g != serial %g", trials, workers, got, ref)
+			}
+		}
+	}
+}
+
+// TestMonteCarloDefaultMatchesExplicitWorkers pins SimulateMedianLifetime
+// to the workers-parameterized implementation.
+func TestMonteCarloDefaultMatchesExplicitWorkers(t *testing.T) {
+	g := NewGroup(0.35)
+	g.AddT50(100)
+	g.AddT50(250)
+	a, err := g.SimulateMedianLifetime(501, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.SimulateMedianLifetimeWorkers(501, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("default-worker result %g != serial %g", a, b)
+	}
+}
+
+func TestTrialStreamsDecorrelated(t *testing.T) {
+	// Adjacent trials must not replay each other's stream shifted by one
+	// draw (the failure mode of seeding SplitMix64 with seed+trial).
+	s0 := newTrialSource(1, 0)
+	s1 := newTrialSource(1, 1)
+	a := []uint64{s0.Uint64(), s0.Uint64(), s0.Uint64()}
+	b := []uint64{s1.Uint64(), s1.Uint64(), s1.Uint64()}
+	if a[1] == b[0] && a[2] == b[1] {
+		t.Error("trial 1's stream is trial 0's stream shifted by one")
+	}
+	if a[0] == b[0] {
+		t.Error("distinct trials produced identical streams")
+	}
+}
+
 func TestMonteCarloMinimumTrials(t *testing.T) {
 	g := NewGroup(0.4)
 	g.AddT50(100)

@@ -6,11 +6,13 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"voltstack/internal/em"
+	"voltstack/internal/parallel"
 	"voltstack/internal/pdngrid"
 	"voltstack/internal/power"
 	"voltstack/internal/sc"
@@ -63,6 +65,11 @@ type Space struct {
 	PadFractions   []float64
 	ConverterCount []int
 	TSVs           []pdngrid.TSVTopology
+
+	// Workers bounds the number of designs evaluated concurrently by Run;
+	// < 1 selects parallel.DefaultWorkers (GOMAXPROCS, overridable via
+	// VOLTSTACK_WORKERS). Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultSpace enumerates the paper's axes at the application-average
@@ -187,14 +194,31 @@ type Result struct {
 // Run evaluates the whole space and extracts the Pareto set over
 // (area↓, noise↓, efficiency↑, TSV lifetime↑, C4 lifetime↑, power pads↓ —
 // the last being the paper's pads-freed-for-I/O argument).
+//
+// Designs are evaluated concurrently on a pool of s.Workers workers, but
+// the result is deterministic: Points keeps the Designs() enumeration
+// order and the Pareto set is byte-identical to a serial (Workers=1) run.
 func (s Space) Run() (*Result, error) {
-	res := &Result{}
-	var maxTSV, maxC4 float64
-	for _, d := range s.Designs() {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: a cancelled ctx stops dispatching
+// design evaluations and returns the context's error.
+func (s Space) RunContext(ctx context.Context) (*Result, error) {
+	pool := parallel.NewPool(s.Workers)
+	metrics, err := parallel.Map(ctx, pool, s.Designs(), func(_ int, d Design) (*Metrics, error) {
 		m, err := s.Evaluate(d)
 		if err != nil {
 			return nil, fmt.Errorf("explore: %s: %v", d.Name(), err)
 		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	var maxTSV, maxC4 float64
+	for _, m := range metrics {
 		if !m.Feasible {
 			res.Dropped++
 			continue

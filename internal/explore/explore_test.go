@@ -1,6 +1,9 @@
 package explore
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -105,6 +108,44 @@ func TestRunSpace(t *testing.T) {
 					res.Points[pi].Design.Name(), b.Design.Name())
 			}
 		}
+	}
+}
+
+// TestRunWorkerEquivalence is the determinism contract of the parallel
+// sweep: ordering, normalization, Pareto set and every float must be
+// bit-identical for workers = 1, 2 and 8.
+func TestRunWorkerEquivalence(t *testing.T) {
+	base := smallSpace()
+	base.Params.GridNx, base.Params.GridNy = 8, 8 // tiny mesh: 3 runs stay fast
+
+	var ref *Result
+	for _, workers := range []int{1, 2, 8} {
+		s := base
+		s.Workers = workers
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if workers == 1 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("workers=%d result differs from serial run", workers)
+		}
+	}
+	if len(ref.Points) == 0 {
+		t.Fatal("empty serial reference")
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	s := smallSpace()
+	s.Params.GridNx, s.Params.GridNy = 8, 8
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 
