@@ -1,18 +1,22 @@
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-parallel fuzz golden
+.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry fuzz golden profile metrics-demo
 
 build:
 	$(GO) build ./...
 
-test: build
+vet:
+	$(GO) vet ./...
+
+test: build vet
 	$(GO) test ./...
 
 test-short:
 	$(GO) test -short ./...
 
 # test-race is the concurrency gate: the worker pool, the parallel figure
-# drivers and the Monte Carlo fan-out all run under the race detector.
+# drivers, the Monte Carlo fan-out and the telemetry instruments all run
+# under the race detector.
 test-race:
 	$(GO) test -race ./...
 
@@ -24,6 +28,12 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'Serial$$|Parallel$$' -run '^$$' .
 
+# bench-telemetry compares the instrumented Fig. 5a driver with the metrics
+# registry disabled vs. enabled; the Off case bounds the always-on cost of
+# the instrumentation hooks.
+bench-telemetry:
+	$(GO) test -bench 'Fig5aTelemetry' -run '^$$' -count 5 .
+
 fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzParseCSV -fuzztime 30s
 
@@ -31,3 +41,20 @@ fuzz:
 # model change.
 golden:
 	$(GO) test ./internal/core -run TestGolden -update
+
+# profile runs a representative sweep (the EM-lifetime figures plus the
+# transient experiment) under the CPU profiler and leaves vsexplore.prof
+# ready for `go tool pprof ./bin/vsexplore vsexplore.prof`.
+profile: build
+	$(GO) build -o bin/vsexplore ./cmd/vsexplore
+	./bin/vsexplore -coarse -exp fig5a,fig5b,fig8 -cpuprofile vsexplore.prof > /dev/null
+	@echo "wrote vsexplore.prof; inspect with: $(GO) tool pprof ./bin/vsexplore vsexplore.prof"
+
+# metrics-demo runs a small sweep with full telemetry and prints the JSON
+# metrics dump (the Prometheus rendering lands next to it as
+# /tmp/voltstack-metrics.json.prom).
+metrics-demo: build
+	$(GO) run ./cmd/vsexplore -coarse -exp fig5a,ext-em-mc \
+		-metrics /tmp/voltstack-metrics.json -trace /tmp/voltstack-trace.json > /dev/null
+	@cat /tmp/voltstack-metrics.json
+	@echo "trace: load /tmp/voltstack-trace.json in https://ui.perfetto.dev or chrome://tracing"

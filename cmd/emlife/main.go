@@ -4,8 +4,11 @@
 // Usage:
 //
 //	emlife [-layers N] [-tsv dense|sparse|few] [-padfrac F] [-grid N] [-workers N]
+//	       [-mc-trials N] [-metrics PATH] [-trace PATH] [-pprof ADDR] [-cpuprofile PATH] [-progress]
 //
 // The regular and voltage-stacked scenarios are solved concurrently.
+// -mc-trials additionally cross-checks each analytic lifetime with the
+// Monte Carlo estimator at the given trial budget.
 package main
 
 import (
@@ -16,8 +19,11 @@ import (
 	"strings"
 
 	"voltstack/internal/core"
+	"voltstack/internal/em"
 	"voltstack/internal/parallel"
 	"voltstack/internal/pdngrid"
+	"voltstack/internal/telemetry"
+	"voltstack/internal/units"
 )
 
 func main() {
@@ -26,7 +32,15 @@ func main() {
 	padFrac := flag.Float64("padfrac", 0.25, "fraction of C4 pad sites used for power")
 	grid := flag.Int("grid", 32, "PDN mesh resolution (NxN)")
 	workers := flag.Int("workers", 0, "worker-pool size (0: GOMAXPROCS, or VOLTSTACK_WORKERS if set)")
+	mcTrials := flag.Int("mc-trials", 0, "cross-check lifetimes by Monte Carlo with this many trials (0: analytic only)")
+	tf := telemetry.RegisterFlags()
 	flag.Parse()
+
+	flush, err := tf.Init()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emlife:", err)
+		os.Exit(1)
+	}
 
 	var tsv pdngrid.TSVTopology
 	switch strings.ToLower(*tsvName) {
@@ -56,7 +70,18 @@ func main() {
 
 	fmt.Printf("EM lifetime comparison: %d layers, %s TSV, %.0f%% power pads (all layers active)\n",
 		*layers, tsv.Name, 100**padFrac)
-	type res struct{ tsvLife, c4Life float64 }
+	type res struct{ tsvLife, c4Life, tsvMC, c4MC float64 }
+	mc := func(currents []float64, bp em.BlackParams) (float64, error) {
+		if *mcTrials < 1 {
+			return 0, nil
+		}
+		g := em.NewGroup(bp.SigmaLog)
+		tempK := units.CelsiusToKelvin(s.Params.TempCelsius)
+		for _, c := range currents {
+			g.AddConductor(bp, c, tempK)
+		}
+		return g.SimulateMedianLifetimeWorkers(*mcTrials, s.Seed, *workers)
+	}
 	results, err := parallel.Map(context.Background(), parallel.NewPool(*workers), points, func(_ int, pt point) (res, error) {
 		p, err := pt.build()
 		if err != nil {
@@ -74,17 +99,34 @@ func main() {
 		if err != nil {
 			return res{}, err
 		}
-		return res{tl, cl}, nil
+		tmc, err := mc(r.TSVCurrents, s.EMTsv)
+		if err != nil {
+			return res{}, err
+		}
+		cmc, err := mc(r.PadCurrents, s.EMC4)
+		if err != nil {
+			return res{}, err
+		}
+		return res{tl, cl, tmc, cmc}, nil
 	})
 	if err != nil {
+		flush()
 		fmt.Fprintln(os.Stderr, "emlife:", err)
 		os.Exit(1)
 	}
 	for i, pt := range points {
 		fmt.Printf("  %-16s TSV-array lifetime %.3g, C4-array lifetime %.3g (arbitrary units)\n",
 			pt.name, results[i].tsvLife, results[i].c4Life)
+		if *mcTrials > 0 {
+			fmt.Printf("  %-16s Monte Carlo (%d trials): TSV %.3g, C4 %.3g\n",
+				"", *mcTrials, results[i].tsvMC, results[i].c4MC)
+		}
 	}
 	reg, vs := results[0], results[1]
 	fmt.Printf("  V-S advantage: TSV %.2fx, C4 %.2fx\n",
 		vs.tsvLife/reg.tsvLife, vs.c4Life/reg.c4Life)
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "emlife: telemetry:", err)
+		os.Exit(1)
+	}
 }

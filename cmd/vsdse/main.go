@@ -6,6 +6,7 @@
 // Usage:
 //
 //	vsdse [-layers N] [-imbalance F] [-grid N] [-all]
+//	      [-metrics PATH] [-trace PATH] [-pprof ADDR] [-cpuprofile PATH] [-progress]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"voltstack/internal/explore"
+	"voltstack/internal/telemetry"
 )
 
 func main() {
@@ -22,16 +24,26 @@ func main() {
 	imbalance := flag.Float64("imbalance", 0.65, "workload imbalance for the noise/efficiency metrics")
 	grid := flag.Int("grid", 16, "PDN mesh resolution (NxN)")
 	all := flag.Bool("all", false, "print every feasible design, not only the Pareto set")
+	workers := flag.Int("workers", 0, "worker-pool size (0: GOMAXPROCS, or VOLTSTACK_WORKERS if set)")
+	tf := telemetry.RegisterFlags()
 	flag.Parse()
+
+	flush, err := tf.Init()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsdse:", err)
+		os.Exit(1)
+	}
 
 	space := explore.DefaultSpace()
 	space.Layers = *layers
 	space.Imbalance = *imbalance
 	space.Params.GridNx, space.Params.GridNy = *grid, *grid
+	space.Workers = *workers
 
 	start := time.Now()
 	res, err := space.Run()
 	if err != nil {
+		flush()
 		fmt.Fprintln(os.Stderr, "vsdse:", err)
 		os.Exit(1)
 	}
@@ -64,6 +76,10 @@ func main() {
 		}
 	}
 	fmt.Printf("\ndone in %.1fs\n", time.Since(start).Seconds())
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "vsdse: telemetry:", err)
+		os.Exit(1)
+	}
 }
 
 func printRow(m *explore.Metrics) {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	vsexplore [-exp all|table1|table2|fig3a|fig3b|fig5a|fig5b|fig6|fig7|fig8|thermal|headlines] [-coarse] [-workers N]
+//	          [-metrics PATH] [-trace PATH] [-pprof ADDR] [-cpuprofile PATH] [-progress]
 //
 // -coarse runs the PDN experiments on a 16x16 mesh (seconds instead of
 // tens of seconds); headline numbers are stable across both resolutions.
@@ -11,7 +12,9 @@
 // Independent experiments run concurrently, and each experiment's inner
 // fan-out (scenario grids, imbalance sweeps, Monte Carlo trials) is
 // parallel too; -workers (or VOLTSTACK_WORKERS) bounds the concurrency.
-// Every number printed is identical for any worker count.
+// Every number printed is identical for any worker count, and identical
+// with telemetry on or off (metrics, traces and progress go to files and
+// stderr, never stdout).
 package main
 
 import (
@@ -24,14 +27,22 @@ import (
 
 	"voltstack/internal/core"
 	"voltstack/internal/parallel"
+	"voltstack/internal/telemetry"
 )
 
 func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (fig3a/fig3b/fig5a/fig5b/fig6/fig7/fig8 only)")
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig3a, fig3b, fig5a, fig5b, fig6, fig7, fig8, thermal, headlines, ext-transient, ext-converters, ext-scheduling, ext-electrothermal, ext-thermal-em, ext-guardband, ext-trace-noise, ext-scaling, ext-dvfs, ext-decap-split)")
+	exp := flag.String("exp", "all", "comma-separated experiments to run (all, table1, table2, fig3a, fig3b, fig5a, fig5b, fig6, fig7, fig8, thermal, headlines, ext-transient, ext-converters, ext-scheduling, ext-electrothermal, ext-thermal-em, ext-guardband, ext-trace-noise, ext-scaling, ext-dvfs, ext-decap-split, ext-em-mc)")
 	coarse := flag.Bool("coarse", false, "use a coarse 16x16 PDN mesh for speed")
 	workers := flag.Int("workers", 0, "worker-pool size (0: GOMAXPROCS, or VOLTSTACK_WORKERS if set)")
+	tf := telemetry.RegisterFlags()
 	flag.Parse()
+
+	flush, err := tf.Init()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsexplore:", err)
+		os.Exit(1)
+	}
 
 	s := core.NewStudy()
 	if *coarse {
@@ -204,6 +215,13 @@ func main() {
 			}
 			return core.RenderExtThermalEM(r), nil
 		},
+		"ext-em-mc": func() (string, error) {
+			r, err := s.ExtEMMonteCarlo(4000)
+			if err != nil {
+				return "", err
+			}
+			return core.RenderExtEMMonteCarlo(r), nil
+		},
 		"ext-electrothermal": func() (string, error) {
 			var rows []*core.ExtElectrothermalResult
 			for layers := 2; layers <= 8; layers += 2 {
@@ -217,18 +235,28 @@ func main() {
 		},
 	}
 	order := []string{"table1", "table2", "fig3a", "fig3b", "fig5a", "fig5b", "fig6", "fig7", "fig8",
-		"thermal", "headlines", "ext-transient", "ext-converters", "ext-scheduling", "ext-electrothermal", "ext-thermal-em", "ext-guardband", "ext-trace-noise", "ext-scaling", "ext-dvfs", "ext-decap-split"}
+		"thermal", "headlines", "ext-transient", "ext-converters", "ext-scheduling", "ext-electrothermal", "ext-thermal-em", "ext-guardband", "ext-trace-noise", "ext-scaling", "ext-dvfs", "ext-decap-split", "ext-em-mc"}
 
 	var selected []string
 	switch strings.ToLower(*exp) {
 	case "all":
 		selected = order
 	default:
-		if _, ok := runners[strings.ToLower(*exp)]; !ok {
-			fmt.Fprintf(os.Stderr, "vsexplore: unknown experiment %q (have: all %s)\n", *exp, strings.Join(order, " "))
+		for _, name := range strings.Split(strings.ToLower(*exp), ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "vsexplore: unknown experiment %q (have: all %s)\n", name, strings.Join(order, " "))
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+		if len(selected) == 0 {
+			fmt.Fprintln(os.Stderr, "vsexplore: -exp selected no experiments")
 			os.Exit(2)
 		}
-		selected = []string{strings.ToLower(*exp)}
 	}
 
 	start := time.Now()
@@ -244,6 +272,7 @@ func main() {
 	// Independent experiments run concurrently on the shared pool; the
 	// rendered outputs come back in selection order, so stdout is
 	// byte-identical to a serial run.
+	prog := telemetry.NewProgress("experiments", len(selected))
 	pool := parallel.NewPool(*workers)
 	outputs, err := parallel.Map(context.Background(), pool, selected, func(_ int, name string) (string, error) {
 		run := runners[name]
@@ -254,12 +283,15 @@ func main() {
 		if err != nil {
 			return "", fmt.Errorf("%s: %v", name, err)
 		}
+		prog.Add(1)
 		return out, nil
 	})
 	if err != nil {
+		flush()
 		fmt.Fprintf(os.Stderr, "vsexplore: %v\n", err)
 		os.Exit(1)
 	}
+	prog.Finish()
 	for _, out := range outputs {
 		fmt.Print(out)
 		if !*csvOut {
@@ -268,5 +300,9 @@ func main() {
 	}
 	if !*csvOut {
 		fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "vsexplore: telemetry:", err)
+		os.Exit(1)
 	}
 }

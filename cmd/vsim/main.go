@@ -5,6 +5,7 @@
 //
 //	vsim [-kind regular|vs] [-layers N] [-tsv dense|sparse|few]
 //	     [-conv N] [-padfrac F] [-imbalance F] [-grid N]
+//	     [-metrics PATH] [-trace PATH] [-pprof ADDR] [-cpuprofile PATH]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"voltstack/internal/pdngrid"
 	"voltstack/internal/power"
 	"voltstack/internal/sc"
+	"voltstack/internal/telemetry"
 	"voltstack/internal/viz"
 )
 
@@ -31,7 +33,19 @@ func main() {
 	grid := flag.Int("grid", 32, "PDN mesh resolution (NxN)")
 	showMap := flag.Bool("map", false, "print an ASCII voltage heatmap of the worst layer")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+	tf := telemetry.RegisterFlags()
 	flag.Parse()
+
+	flush, err := tf.Init()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "vsim: telemetry:", err)
+		}
+	}()
 
 	var tsv pdngrid.TSVTopology
 	switch strings.ToLower(*tsvName) {
@@ -112,6 +126,9 @@ func main() {
 			"efficiency":          r.Efficiency,
 			"max_converter_a":     r.MaxConverterCurrent,
 			"over_limit":          r.OverLimit,
+			"solver_iterations":   r.SolverIterations,
+			"solver_residual":     r.SolverResidual,
+			"outer_iterations":    r.OuterIterations,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -140,6 +157,10 @@ func main() {
 	}
 	fmt.Printf("pad currents (mA):  %s\n", statLine(r.PadCurrents))
 	fmt.Printf("TSV currents (mA):  %s\n", statLine(r.TSVCurrents))
+	if r.SolverIterations > 0 {
+		fmt.Printf("solver: %d PCG iterations (residual %.2e) over %d outer pass(es)\n",
+			r.TotalSolverIterations, r.SolverResidual, r.OuterIterations)
+	}
 
 	if *showMap {
 		cv := r.CellVoltages[r.WorstLayer]

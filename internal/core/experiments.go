@@ -52,6 +52,7 @@ type Table2Row struct {
 // Table2 returns the three TSV topologies with their computed area
 // overheads.
 func (s *Study) Table2() []Table2Row {
+	defer s.observe("table2")()
 	var rows []Table2Row
 	for _, t := range []pdngrid.TSVTopology{pdngrid.DenseTSV(), pdngrid.SparseTSV(), pdngrid.FewTSV()} {
 		rows = append(rows, Table2Row{
@@ -77,6 +78,7 @@ type Fig3Point struct {
 
 // fig3 runs the validation at the given loads under the given control.
 func (s *Study) fig3(ctrl sc.Control, loadsMA []float64) ([]Fig3Point, error) {
+	defer s.observe("fig3")()
 	const vin = 2.0 // two stacked 1 V loads
 	var out []Fig3Point
 	for _, mA := range loadsMA {
@@ -131,6 +133,7 @@ type Fig5 struct {
 // topology. Pads are fully allocated to power (the paper's 32 Vdd pads
 // per core). All values are normalized to the 2-layer V-S point.
 func (s *Study) Fig5a() (*Fig5, error) {
+	defer s.observe("fig5a")()
 	const padFrac = 1.0
 	layers := s.scanLayers()
 	type scenario struct {
@@ -190,6 +193,7 @@ func (s *Study) Fig5a() (*Fig5, error) {
 // with 25 %. TSV topology is fixed (Few) since the C4 array's EM
 // robustness is insensitive to it. Normalized to the 2-layer V-S point.
 func (s *Study) Fig5b() (*Fig5, error) {
+	defer s.observe("fig5b")()
 	layers := s.scanLayers()
 	fracs := []float64{0.25, 0.5, 0.75, 1.0}
 
@@ -309,6 +313,7 @@ var Fig6ConvCounts = []int{2, 4, 6, 8}
 // V-S PDN (Few TSV, 2-8 converters/core) against the regular PDN's
 // worst-case lines for the three TSV topologies.
 func (s *Study) Fig6() (*Fig6, error) {
+	defer s.observe("fig6")()
 	imbs := imbalanceAxis()
 	fig := &Fig6{
 		Imbalances:   imbs,
@@ -373,6 +378,7 @@ type Fig8 struct {
 // Fig8 evaluates system power efficiency vs. imbalance for the V-S PDN at
 // 2-8 converters per core and for the regular-PDN-with-SC baseline.
 func (s *Study) Fig8() (*Fig8, error) {
+	defer s.observe("fig8")()
 	imbs := imbalanceAxis()[1:] // the paper's x-axis starts at 10%
 	fig := &Fig8{Imbalances: imbs, VS: map[int][]float64{}}
 	for _, n := range Fig6ConvCounts {
@@ -429,6 +435,7 @@ type Fig7 struct {
 
 // Fig7 evaluates the synthetic Parsec populations.
 func (s *Study) Fig7() *Fig7 {
+	defer s.observe("fig7")()
 	suite := s.Workloads()
 	fig := &Fig7{
 		AverageMaxImbalance: suite.AverageMaxImbalance(),
@@ -456,6 +463,7 @@ type ThermalCheck struct {
 
 // Thermal runs the stack feasibility check.
 func (s *Study) Thermal() (*ThermalCheck, error) {
+	defer s.observe("thermal")()
 	die := s.Chip.Die()
 	cfg := thermal.DefaultConfig(die, 8)
 	fp, err := s.Chip.Floorplan()
@@ -517,6 +525,7 @@ type Headlines struct {
 // imbalance sweep and the dense-PDN reference solve — run concurrently on
 // the study's pool; each is itself deterministic, so so is the summary.
 func (s *Study) Headlines() (*Headlines, error) {
+	defer s.observe("headlines")()
 	h := &Headlines{}
 
 	// Fine-grained imbalance sweep for the crossover and the 65% delta.

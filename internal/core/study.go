@@ -14,9 +14,32 @@ import (
 	"voltstack/internal/pdngrid"
 	"voltstack/internal/power"
 	"voltstack/internal/sc"
+	"voltstack/internal/telemetry"
 	"voltstack/internal/units"
 	"voltstack/internal/workload"
 )
+
+// Experiment-driver instrumentation: how many figure/table drivers ran and
+// how long each took, with one trace span per driver. No-ops unless
+// telemetry is enabled.
+var (
+	mExperiments       = telemetry.NewCounter("core_experiments_total")
+	mExperimentSeconds = telemetry.NewHistogram("core_experiment_seconds")
+)
+
+// observe opens a span and timer for one experiment driver; the returned
+// func ends both:
+//
+//	defer s.observe("fig5a")()
+func (s *Study) observe(name string) func() {
+	sp := telemetry.StartSpan("core." + name)
+	t0 := telemetry.Now()
+	return func() {
+		mExperiments.Add(1)
+		mExperimentSeconds.Since(t0)
+		sp.End()
+	}
+}
 
 // Study holds the shared configuration of a cross-layer exploration.
 // NewStudy returns the paper's setup; fields may be overridden before

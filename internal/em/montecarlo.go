@@ -5,8 +5,20 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"voltstack/internal/parallel"
+	"voltstack/internal/telemetry"
+)
+
+// Monte Carlo instrumentation: trial counts and throughput (trials/sec)
+// size the sampling budget against wall-clock. No-ops unless telemetry is
+// enabled.
+var (
+	mMCRuns       = telemetry.NewCounter("em_mc_runs_total")
+	mMCTrials     = telemetry.NewCounter("em_mc_trials_total")
+	mMCRunSeconds = telemetry.NewHistogram("em_mc_run_seconds")
+	mMCRate       = telemetry.NewGauge("em_mc_trials_per_second")
 )
 
 // SimulateMedianLifetime estimates the group's expected EM-damage-free
@@ -44,6 +56,8 @@ func (g *Group) SimulateMedianLifetimeWorkers(trials int, seed int64, workers in
 	if trials < 1 {
 		trials = 1
 	}
+	t0 := telemetry.Now()
+	prog := telemetry.NewProgress("em-montecarlo", trials)
 	minima := make([]float64, trials)
 	err := parallel.NewPool(workers).ForEachN(context.Background(), trials, func(tr int) error {
 		rng := rand.New(newTrialSource(seed, int64(tr)))
@@ -56,10 +70,20 @@ func (g *Group) SimulateMedianLifetimeWorkers(trials int, seed int64, workers in
 			}
 		}
 		minima[tr] = first
+		prog.Add(1)
 		return nil
 	})
 	if err != nil {
 		return 0, err
+	}
+	prog.Finish()
+	mMCRuns.Add(1)
+	mMCTrials.Add(int64(trials))
+	mMCRunSeconds.Since(t0)
+	if !t0.IsZero() {
+		if dt := time.Since(t0).Seconds(); dt > 0 {
+			mMCRate.Set(float64(trials) / dt)
+		}
 	}
 	sort.Float64s(minima)
 	mid := len(minima) / 2

@@ -10,13 +10,23 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"voltstack/internal/em"
 	"voltstack/internal/parallel"
 	"voltstack/internal/pdngrid"
 	"voltstack/internal/power"
 	"voltstack/internal/sc"
+	"voltstack/internal/telemetry"
 	"voltstack/internal/units"
+)
+
+// Sweep instrumentation: design points evaluated and sweep throughput.
+// No-ops unless telemetry is enabled.
+var (
+	mPoints      = telemetry.NewCounter("explore_points_total")
+	mEvalSeconds = telemetry.NewHistogram("explore_eval_seconds")
+	mSweepRate   = telemetry.NewGauge("explore_points_per_second")
 )
 
 // Design is one point in the PDN design space.
@@ -205,16 +215,31 @@ func (s Space) Run() (*Result, error) {
 // RunContext is Run with cancellation: a cancelled ctx stops dispatching
 // design evaluations and returns the context's error.
 func (s Space) RunContext(ctx context.Context) (*Result, error) {
+	sp := telemetry.StartSpan("explore.Run")
+	defer sp.End()
+	designs := s.Designs()
+	tRun := telemetry.Now()
+	prog := telemetry.NewProgress("explore", len(designs))
 	pool := parallel.NewPool(s.Workers)
-	metrics, err := parallel.Map(ctx, pool, s.Designs(), func(_ int, d Design) (*Metrics, error) {
+	metrics, err := parallel.Map(ctx, pool, designs, func(_ int, d Design) (*Metrics, error) {
+		t0 := telemetry.Now()
 		m, err := s.Evaluate(d)
 		if err != nil {
 			return nil, fmt.Errorf("explore: %s: %v", d.Name(), err)
 		}
+		mPoints.Add(1)
+		mEvalSeconds.Since(t0)
+		prog.Add(1)
 		return m, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	prog.Finish()
+	if !tRun.IsZero() {
+		if dt := time.Since(tRun).Seconds(); dt > 0 {
+			mSweepRate.Set(float64(len(designs)) / dt)
+		}
 	}
 	res := &Result{}
 	var maxTSV, maxC4 float64

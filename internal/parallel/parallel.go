@@ -16,7 +16,68 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"voltstack/internal/telemetry"
 )
+
+// Pool instrumentation: per-task queue wait and run time, plus per-batch
+// worker occupancy (busy time / (wall × workers)) — the signal that tells
+// a sweep whether it is solver-bound or scheduling-bound. Everything here
+// is a no-op unless telemetry is enabled; the disabled cost per task is a
+// single atomic load.
+var (
+	mBatches     = telemetry.NewCounter("parallel_batches_total")
+	mTasks       = telemetry.NewCounter("parallel_tasks_total")
+	mTaskSeconds = telemetry.NewHistogram("parallel_task_seconds")
+	mQueueWait   = telemetry.NewHistogram("parallel_queue_wait_seconds")
+	mOccupancy   = telemetry.NewHistogram("parallel_batch_occupancy")
+	mLastOccup   = telemetry.NewGauge("parallel_last_occupancy")
+)
+
+// batchStats accumulates one ForEachN invocation's busy time.
+type batchStats struct {
+	start time.Time
+	busy  atomic.Int64 // nanoseconds
+}
+
+// newBatchStats returns nil (a no-op) when telemetry is disabled.
+func newBatchStats() *batchStats {
+	if !telemetry.Enabled() {
+		return nil
+	}
+	return &batchStats{start: time.Now()}
+}
+
+// task wraps one fn(i) call with wait/run accounting. Nil-safe.
+func (b *batchStats) task(i int, fn func(i int) error) error {
+	if b == nil {
+		return fn(i)
+	}
+	t0 := time.Now()
+	mQueueWait.Observe(t0.Sub(b.start).Seconds())
+	err := fn(i)
+	d := time.Since(t0)
+	b.busy.Add(int64(d))
+	mTasks.Add(1)
+	mTaskSeconds.Observe(d.Seconds())
+	return err
+}
+
+// finish records the batch-level occupancy metrics. Nil-safe.
+func (b *batchStats) finish(workers int) {
+	if b == nil {
+		return
+	}
+	mBatches.Add(1)
+	wall := time.Since(b.start).Seconds()
+	if wall <= 0 || workers < 1 {
+		return
+	}
+	occ := float64(b.busy.Load()) / float64(time.Second) / (wall * float64(workers))
+	mOccupancy.Observe(occ)
+	mLastOccup.Set(occ)
+}
 
 // EnvWorkers is the environment variable that overrides the default
 // worker count for every pool created without an explicit size.
@@ -71,17 +132,20 @@ func (p *Pool) ForEachN(ctx context.Context, n int, fn func(i int) error) error 
 	if workers > n {
 		workers = n
 	}
+	stats := newBatchStats()
 	if workers == 1 {
+		defer stats.finish(1)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := stats.task(i, fn); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	defer stats.finish(workers)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -102,7 +166,7 @@ func (p *Pool) ForEachN(ctx context.Context, n int, fn func(i int) error) error 
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := stats.task(i, fn); err != nil {
 					mu.Lock()
 					if firstIdx < 0 || i < firstIdx {
 						firstIdx, firstErr = i, err

@@ -6,6 +6,18 @@ import (
 
 	"voltstack/internal/circuit"
 	"voltstack/internal/sc"
+	"voltstack/internal/telemetry"
+)
+
+// PDN-solve instrumentation: the assemble-vs-linear-solve wall-clock split
+// and per-solve node counts are what any further solver optimisation will
+// be measured against. No-ops unless telemetry is enabled.
+var (
+	mSolves          = telemetry.NewCounter("pdngrid_solves_total")
+	mOuterIters      = telemetry.NewCounter("pdngrid_outer_iterations_total")
+	mAssembleSeconds = telemetry.NewHistogram("pdngrid_assemble_seconds")
+	mSolveSeconds    = telemetry.NewHistogram("pdngrid_linear_solve_seconds")
+	mNodesHist       = telemetry.NewHistogram("pdngrid_nodes")
 )
 
 // Result holds the solved state of one PDN scenario.
@@ -40,8 +52,15 @@ type Result struct {
 	// net) for each layer, row-major raster order.
 	CellVoltages [][]float64
 
-	// Linear solve diagnostics.
-	SolverIterations int
+	// Linear solve diagnostics, propagated from sparse.CGResult via
+	// circuit.Solution so callers and tests can assert convergence effort.
+	SolverIterations int     // iterative-solver iterations of the final linear solve (0 for direct solvers)
+	SolverResidual   float64 // final relative residual ‖b−Ax‖₂/‖b‖₂ of the final linear solve
+	// OuterIterations counts closed-loop converter-frequency passes (1 in
+	// open loop); TotalSolverIterations sums the linear-solver iterations
+	// over all of them.
+	OuterIterations       int
+	TotalSolverIterations int
 }
 
 // UniformActivities returns an activity matrix with every core of every
@@ -124,12 +143,16 @@ func (p *PDN) Solve(activities [][]float64) (*Result, error) {
 
 	var res *Result
 	var prevJ []float64
+	totalIters := 0
+	outerDone := 0
 	for outer := 0; outer < maxOuter; outer++ {
 		var err error
 		res, err = p.solveOnce(loads, freqs)
 		if err != nil {
 			return nil, err
 		}
+		totalIters += res.SolverIterations
+		outerDone++
 		if maxOuter == 1 {
 			break
 		}
@@ -148,6 +171,9 @@ func (p *PDN) Solve(activities [][]float64) (*Result, error) {
 		}
 		prevJ = append(prevJ[:0], res.ConverterCurrents...)
 	}
+	res.OuterIterations = outerDone
+	res.TotalSolverIterations = totalIters
+	mOuterIters.Add(int64(outerDone))
 	return res, nil
 }
 
@@ -347,14 +373,33 @@ func (p *PDN) solveOnce(loads [][]float64, freqs []float64) (*Result, error) {
 	nCells := p.nCells
 	L := cfg.Layers
 
+	sp := telemetry.StartSpan("pdngrid.solve")
+	defer sp.End()
+
+	spA := sp.Start("assemble")
+	tA := telemetry.Now()
 	asm := p.assemble(loads, freqs, nil)
+	mAssembleSeconds.Since(tA)
+	spA.End()
 	node := asm.node
+
+	spS := sp.Start("linear-solve")
+	tS := telemetry.Now()
 	sol, err := asm.net.Solve(cfg.Solve)
+	mSolveSeconds.Since(tS)
+	spS.End()
 	if err != nil {
 		return nil, fmt.Errorf("pdngrid: %v", err)
 	}
+	mSolves.Add(1)
+	mNodesHist.Observe(float64(asm.net.NumNodes()))
 
-	res := &Result{SolverIterations: sol.Iterations}
+	res := &Result{
+		SolverIterations:      sol.Iterations,
+		SolverResidual:        sol.Residual,
+		OuterIterations:       1,
+		TotalSolverIterations: sol.Iterations,
+	}
 
 	// Voltage noise metrics.
 	res.CellVoltages = make([][]float64, L)

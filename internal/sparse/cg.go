@@ -4,6 +4,22 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"voltstack/internal/telemetry"
+)
+
+// Solver instrumentation: iteration counts and residuals are the
+// convergence-effort signal of the whole toolchain (every PDN solve funnels
+// through PCG on large meshes), so they are recorded whenever telemetry is
+// enabled. All handles are no-ops when it is not.
+var (
+	mPCGSolves       = telemetry.NewCounter("sparse_pcg_solves_total")
+	mPCGIterations   = telemetry.NewCounter("sparse_pcg_iterations_total")
+	mPCGNoConverge   = telemetry.NewCounter("sparse_pcg_nonconverged_total")
+	mPCGIterHist     = telemetry.NewHistogram("sparse_pcg_iterations")
+	mPCGLastResidual = telemetry.NewGauge("sparse_pcg_last_residual")
+	mPrecondBuilds   = telemetry.NewCounter("sparse_precond_builds_total")
+	mPrecondSeconds  = telemetry.NewHistogram("sparse_precond_build_seconds")
 )
 
 // ErrNoConvergence is returned when an iterative solver fails to reach the
@@ -29,6 +45,8 @@ type JacobiPrec struct {
 // NewJacobi builds a Jacobi preconditioner from the diagonal of a.
 // Zero diagonal entries are treated as 1 to stay defined.
 func NewJacobi(a *CSR) *JacobiPrec {
+	t0 := telemetry.Now()
+	defer func() { mPrecondBuilds.Add(1); mPrecondSeconds.Since(t0) }()
 	d := a.Diag()
 	inv := make([]float64, len(d))
 	for i, v := range d {
@@ -66,6 +84,8 @@ type IC0Prec struct {
 // factorization retried; an error is returned only if even a large shift
 // fails.
 func NewIC0(a *CSR) (*IC0Prec, error) {
+	t0 := telemetry.Now()
+	defer func() { mPrecondBuilds.Add(1); mPrecondSeconds.Since(t0) }()
 	for shift := 0.0; shift <= 1.0; {
 		p, err := tryIC0(a, shift)
 		if err == nil {
@@ -221,6 +241,18 @@ type CGResult struct {
 // method. x0 may be nil (zero initial guess). The solve stops when the
 // relative residual drops below tol or maxIter iterations elapse.
 func PCG(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int) ([]float64, CGResult, error) {
+	x, res, err := pcg(a, b, x0, prec, tol, maxIter)
+	mPCGSolves.Add(1)
+	mPCGIterations.Add(int64(res.Iterations))
+	mPCGIterHist.Observe(float64(res.Iterations))
+	mPCGLastResidual.Set(res.Residual)
+	if errors.Is(err, ErrNoConvergence) {
+		mPCGNoConverge.Add(1)
+	}
+	return x, res, err
+}
+
+func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int) ([]float64, CGResult, error) {
 	n := a.N()
 	if len(b) != n {
 		panic("sparse: PCG dimension mismatch")

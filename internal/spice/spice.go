@@ -19,6 +19,18 @@ import (
 
 	"voltstack/internal/sc"
 	"voltstack/internal/sparse"
+	"voltstack/internal/telemetry"
+)
+
+// Switch-level simulator instrumentation: backward-Euler step counts and
+// the periods-to-PSS distribution show how hard each operating point works
+// the reference simulator. No-ops unless telemetry is enabled.
+var (
+	mSims      = telemetry.NewCounter("spice_simulations_total")
+	mBESteps   = telemetry.NewCounter("spice_be_steps_total")
+	mPSSCycles = telemetry.NewCounter("spice_pss_cycles_total")
+	mCycleHist = telemetry.NewHistogram("spice_pss_cycles")
+	mSimHist   = telemetry.NewHistogram("spice_sim_seconds")
 )
 
 // Cell describes the push-pull 2:1 cell to simulate.
@@ -105,6 +117,7 @@ func (c Cell) Simulate(iLoad float64, opts SimOptions) (Result, error) {
 		return Result{}, fmt.Errorf("spice: invalid cell %+v", c)
 	}
 	opts = opts.withDefaults()
+	tSim := telemetry.Now()
 	period := 1 / c.FSw
 	dt := period / float64(2*opts.StepsPerPhase)
 
@@ -222,6 +235,11 @@ func (c Cell) Simulate(iLoad float64, opts SimOptions) (Result, error) {
 	if cycles > opts.MaxCycles {
 		return Result{}, fmt.Errorf("spice: no periodic steady state after %d cycles", opts.MaxCycles)
 	}
+	mSims.Add(1)
+	mPSSCycles.Add(int64(cycles))
+	mBESteps.Add(int64(cycles) * int64(2*opts.StepsPerPhase))
+	mCycleHist.Observe(float64(cycles))
+	mSimHist.Since(tSim)
 
 	nSteps := float64(2 * opts.StepsPerPhase)
 	vAvg := sumV / nSteps

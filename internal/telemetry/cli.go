@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime/pprof"
+)
+
+// Flags is the shared observability flag set of the cmd/ binaries. Every
+// binary registers the same five flags so a user can attach metrics,
+// tracing, profiling and progress reporting to any entry point the same
+// way.
+type Flags struct {
+	Metrics    string // -metrics:    JSON dump path (+ ".prom" Prometheus dump) on exit
+	Trace      string // -trace:      Chrome trace_event JSON path on exit
+	Pprof      string // -pprof:      net/http/pprof listen address (e.g. localhost:6060)
+	CPUProfile string // -cpuprofile: pprof CPU profile path, captured for the whole run
+	Progress   bool   // -progress:   periodic stderr progress lines for long runs
+}
+
+// RegisterFlags registers the observability flags on the default flag set.
+// Call before flag.Parse.
+func RegisterFlags() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.Metrics, "metrics", "", "write a metrics dump on exit: JSON at this path, Prometheus text at path+\".prom\"")
+	flag.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event JSON timing trace on exit (load in chrome://tracing or Perfetto)")
+	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile of the whole run to this file")
+	flag.BoolVar(&f.Progress, "progress", true, "print periodic stderr progress lines for long sweeps and Monte Carlo runs")
+	return f
+}
+
+// Init applies the parsed flags: enables the metric registry, tracer and
+// progress reporter as requested, starts the pprof server and the CPU
+// profile. It returns a flush function that must run before the process
+// exits to stop profiling and write the metrics/trace dumps; flush is
+// never nil and is safe to call when nothing was enabled.
+func (f *Flags) Init() (flush func() error, err error) {
+	if f.Metrics != "" {
+		Enable()
+	}
+	if f.Trace != "" {
+		EnableTracing()
+	}
+	if f.Progress {
+		EnableProgress(0)
+	}
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return noopFlush, fmt.Errorf("telemetry: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return noopFlush, fmt.Errorf("telemetry: cpuprofile: %w", err)
+		}
+	}
+	if f.Pprof != "" {
+		ln, err := net.Listen("tcp", f.Pprof)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return noopFlush, fmt.Errorf("telemetry: pprof listen: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) // default mux carries the pprof handlers
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if f.Metrics != "" {
+			if err := dumpMetrics(f.Metrics); err != nil {
+				return err
+			}
+		}
+		if f.Trace != "" {
+			if err := writeFileWith(f.Trace, WriteTrace); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+func noopFlush() error { return nil }
+
+// dumpMetrics writes the process registry as JSON at path and in the
+// Prometheus text format at path+".prom".
+func dumpMetrics(path string) error {
+	if err := writeFileWith(path, std.WriteJSON); err != nil {
+		return err
+	}
+	return writeFileWith(path+".prom", std.WritePrometheus)
+}
+
+func writeFileWith(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,437 @@
+// Package telemetry is the toolchain's observability layer: a process-wide
+// metrics registry (counters, gauges, log-bucketed histograms), a span
+// tracer that records hierarchical timing trees exportable as Chrome
+// trace_event JSON, and a rate-limited stderr progress reporter for long
+// sweeps and Monte Carlo runs.
+//
+// Everything is off by default and every handle is nil-safe, so
+// instrumented hot paths (the PCG loop, the BE stepper, the worker pool)
+// pay a single atomic load per call site when telemetry is disabled and
+// nothing at all when a handle is nil. Instruments are created once at
+// package init against the process registry; enabling telemetry
+// (Enable / EnableTracing / EnableProgress, or the CLI helper in cli.go)
+// only flips gates — it never changes what the instrumented code computes,
+// so program outputs are byte-identical with telemetry on or off.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 buckets per histogram. Bucket i
+// covers (2^(i-1), 2^i] for i >= 1; bucket 0 covers [0, 1]. With 64
+// buckets the upper bound is 2^63, far beyond any observed count or
+// duration in seconds.
+const histBuckets = 64
+
+// Registry holds named instruments. The zero value is not usable; call
+// NewRegistry (standalone registries start enabled — handy for tests) or
+// use the package-level process registry, which starts disabled and is
+// toggled with Enable/Disable. A nil *Registry is a valid no-op receiver
+// for every method.
+type Registry struct {
+	on atomic.Bool
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	r := newRegistry()
+	r.on.Store(true)
+	return r
+}
+
+func newRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// std is the process registry behind the package-level constructors.
+// It exists from init (so instruments can bind to it at package load)
+// but records nothing until Enable.
+var std = newRegistry()
+
+// Enable turns on metrics recording for the process registry.
+func Enable() { std.on.Store(true) }
+
+// Disable turns metrics recording back off. Recorded values are kept.
+func Disable() { std.on.Store(false) }
+
+// Enabled reports whether the process registry is recording.
+func Enabled() bool { return std.on.Load() }
+
+// Default returns the process registry (for dumping; it is never nil).
+func Default() *Registry { return std }
+
+// Now returns the current time when the process registry is enabled and
+// the zero time otherwise. Pair it with Histogram.Since to time a region
+// without paying for the clock when telemetry is off:
+//
+//	t0 := telemetry.Now()
+//	... work ...
+//	solveSeconds.Since(t0)
+func Now() time.Time {
+	if !std.on.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// NewCounter returns the named counter of the process registry, creating
+// it if needed. Safe to call from package init.
+func NewCounter(name string) *Counter { return std.Counter(name) }
+
+// NewGauge returns the named gauge of the process registry.
+func NewGauge(name string) *Gauge { return std.Gauge(name) }
+
+// NewHistogram returns the named histogram of the process registry.
+func NewHistogram(name string) *Histogram { return std.Histogram(name) }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name, on: &r.on}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name, on: &r.on}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name, on: &r.on}
+		h.minBits.Store(math.Float64bits(math.Inf(1)))
+		h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every instrument (the instruments themselves survive, so
+// handles bound at init stay valid). Intended for tests.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.hists {
+		h.count.Store(0)
+		h.sumBits.Store(0)
+		h.minBits.Store(math.Float64bits(math.Inf(1)))
+		h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	name string
+	on   *atomic.Bool
+	v    atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter or a disabled
+// registry.
+func (c *Counter) Add(n int64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that holds the most recently set value.
+type Gauge struct {
+	name string
+	on   *atomic.Bool
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge or a disabled registry.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last set value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a log2-bucketed distribution of non-negative float64
+// observations with exact count/sum/min/max side stats. All methods are
+// safe for concurrent use and lock-free.
+type Histogram struct {
+	name    string
+	on      *atomic.Bool
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a non-negative observation to its log2 bucket.
+func bucketIndex(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	// Frexp: v = f × 2^e with f in [0.5, 1), so 2^(e-1) <= v < 2^e and
+	// the covering bucket upper bound is 2^e (or 2^(e-1) when f == 0.5).
+	f, e := math.Frexp(v)
+	if f == 0.5 {
+		e--
+	}
+	if e < 0 {
+		e = 0
+	}
+	if e >= histBuckets {
+		e = histBuckets - 1
+	}
+	return e
+}
+
+// Observe records one sample. Negative or NaN samples are clamped to 0.
+// No-op on a nil histogram or a disabled registry.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Since observes the elapsed seconds from t0, obtained from Now. A zero
+// t0 (telemetry was disabled at the start of the region) records nothing.
+func (h *Histogram) Since(t0 time.Time) {
+	if h == nil || t0.IsZero() || !h.on.Load() {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if n := h.Count(); n > 0 {
+		return h.Sum() / float64(n)
+	}
+	return 0
+}
+
+// snapshot types for the dumps.
+type histSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+	Buckets []struct {
+		LE    float64 `json:"le"`
+		Count int64   `json:"count"`
+	} `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() histSnapshot {
+	var s histSnapshot
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, struct {
+				LE    float64 `json:"le"`
+				Count int64   `json:"count"`
+			}{math.Ldexp(1, i), n})
+		}
+	}
+	return s
+}
+
+// sortedNames returns the sorted keys of a map, for stable dumps.
+func sortedNames[T any](m map[string]T) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON dumps every instrument as a single JSON object with stable
+// (sorted) key order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := struct {
+		Counters   map[string]int64        `json:"counters"`
+		Gauges     map[string]float64      `json:"gauges"`
+		Histograms map[string]histSnapshot `json:"histograms"`
+	}{map[string]int64{}, map[string]float64{}, map[string]histSnapshot{}}
+	for n, c := range r.counters {
+		out.Counters[n] = c.v.Load()
+	}
+	for n, g := range r.gauges {
+		out.Gauges[n] = math.Float64frombits(g.bits.Load())
+	}
+	for n, h := range r.hists {
+		out.Histograms[n] = h.snapshot()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WritePrometheus dumps every instrument in the Prometheus text exposition
+// format (counters as `_total`-style counters, histograms as cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range sortedNames(r.counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, r.counters[n].v.Load()); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(r.gauges) {
+		v := math.Float64frombits(r.gauges[n].bits.Load())
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, v); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedNames(r.hists) {
+		h := r.hists[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum int64
+		for i := range h.buckets {
+			c := h.buckets[i].Load()
+			if c == 0 {
+				continue
+			}
+			cum += c
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", n, math.Ldexp(1, i), cum); err != nil {
+				return err
+			}
+		}
+		count := h.count.Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, math.Float64frombits(h.sumBits.Load()), n, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
