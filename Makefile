@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry fuzz golden profile metrics-demo
+.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve fuzz golden profile metrics-demo
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ bench:
 # explore sweep, the EM Monte Carlo) for a quick speedup readout.
 bench-parallel:
 	$(GO) test -bench 'Serial$$|Parallel$$' -run '^$$' .
+
+# bench-solve measures the prepared-solve engine against the historical
+# rebuild-everything path (closed-loop solve, explore sweep slice, ext-em-mc)
+# and renders the fresh-vs-prepared speedups into BENCH_solve.json.
+bench-solve:
+	$(GO) test -bench '^BenchmarkSolve' -run '^$$' -count 3 . | $(GO) run ./cmd/benchjson > BENCH_solve.json
+	@cat BENCH_solve.json
 
 # bench-telemetry compares the instrumented Fig. 5a driver with the metrics
 # registry disabled vs. enabled; the Off case bounds the always-on cost of

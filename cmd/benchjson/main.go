@@ -1,0 +1,153 @@
+// Command benchjson turns `go test -bench` output on stdin into a JSON
+// report on stdout, pairing Fresh/Prepared benchmark variants and computing
+// their speedups. It backs the `make bench-solve` target:
+//
+//	go test -bench '^BenchmarkSolve' -run '^$' . | go run ./cmd/benchjson > BENCH_solve.json
+//
+// Lines that are not benchmark results (headers, PASS/ok, metrics the
+// benchmarks attach via ReportMetric) are carried into the report where
+// relevant and otherwise ignored, so the tool is safe to run on the full
+// `go test` output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkSolveClosedLoopFresh-8   5   252909369 ns/op   10.00 outer-passes
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// metricPart matches trailing custom metrics: "10.00 outer-passes".
+var metricPart = regexp.MustCompile(`([\d.eE+-]+) ([\w%/-]+)`)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name    string             `json:"name"`
+	Iters   int                `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Pair couples a Fresh benchmark with its Prepared twin.
+type Pair struct {
+	Name       string  `json:"name"`
+	FreshNs    float64 `json:"fresh_ns_per_op"`
+	PreparedNs float64 `json:"prepared_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoOS       string  `json:"goos,omitempty"`
+	GoArch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+	Pairs      []Pair  `json:"pairs"`
+}
+
+func main() {
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: strings.TrimPrefix(m[1], "Benchmark"), Iters: iters, NsPerOp: ns}
+		for _, mm := range metricPart.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[mm[2]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Pair *Fresh with *Prepared by common stem. When -count ran a
+	// benchmark several times, the mean ns/op of each variant is paired.
+	type acc struct {
+		sum float64
+		n   int
+	}
+	fresh, prepared := map[string]*acc{}, map[string]*acc{}
+	order := []string{}
+	add := func(m map[string]*acc, stem string, ns float64) {
+		a := m[stem]
+		if a == nil {
+			a = &acc{}
+			m[stem] = a
+		}
+		a.sum += ns
+		a.n++
+	}
+	for _, e := range rep.Benchmarks {
+		switch {
+		case strings.HasSuffix(e.Name, "Fresh"):
+			stem := strings.TrimSuffix(e.Name, "Fresh")
+			if fresh[stem] == nil && prepared[stem] == nil {
+				order = append(order, stem)
+			}
+			add(fresh, stem, e.NsPerOp)
+		case strings.HasSuffix(e.Name, "Prepared"):
+			stem := strings.TrimSuffix(e.Name, "Prepared")
+			if fresh[stem] == nil && prepared[stem] == nil {
+				order = append(order, stem)
+			}
+			add(prepared, stem, e.NsPerOp)
+		}
+	}
+	for _, stem := range order {
+		f, p := fresh[stem], prepared[stem]
+		if f == nil || p == nil || f.n == 0 || p.n == 0 {
+			continue
+		}
+		fm, pm := f.sum/float64(f.n), p.sum/float64(p.n)
+		rep.Pairs = append(rep.Pairs, Pair{
+			Name:       stem,
+			FreshNs:    fm,
+			PreparedNs: pm,
+			Speedup:    fm / pm,
+		})
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

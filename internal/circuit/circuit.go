@@ -251,23 +251,74 @@ func (n *Netlist) CheckConnectivity() error {
 	return nil
 }
 
-// Solve assembles the conductance matrix and solves for all node voltages.
-func (n *Netlist) Solve(opts SolveOptions) (*Solution, error) {
-	nn := n.numNodes
-	if nn == 0 {
-		return &Solution{net: n}, nil
+// resolve fills in the defaults of SolveOptions for an nn-node system.
+func (o SolveOptions) resolve(nn int) (kind SolverKind, tol float64, maxIter int) {
+	kind = o.Solver
+	if kind == Auto {
+		if nn <= directThreshold {
+			kind = Direct
+		} else {
+			kind = PCGIC0
+		}
 	}
-	if err := n.CheckConnectivity(); err != nil {
-		return nil, err
+	tol = o.Tol
+	if tol == 0 {
+		tol = 1e-10
 	}
-	b := sparse.NewBuilder(nn)
-	rhs := make([]float64, nn)
+	maxIter = o.MaxIter
+	if maxIter == 0 {
+		maxIter = 20 * nn
+		if maxIter < 1000 {
+			maxIter = 1000
+		}
+	}
+	return kind, tol, maxIter
+}
 
+// wrapSPD maps a factorization positive-definiteness failure onto the
+// circuit-level floating-network error.
+func wrapSPD(err error) error {
+	if errors.Is(err, sparse.ErrNotPositiveDefinite) {
+		return fmt.Errorf("%w: %v", ErrFloating, err)
+	}
+	return err
+}
+
+// adder receives matrix stamps. *sparse.Builder implements it for
+// assembly; the prepared-solve engine substitutes a value-only writer to
+// restamp without rebuilding structure.
+type adder interface {
+	Add(i, j int, v float64)
+}
+
+// stampMatrix stamps every matrix-bearing element into b in the canonical
+// element order (resistors, ties, converters, inductors). Both the fresh
+// Solve path and the prepared engine go through this single routine, which
+// is what keeps their assemblies bit-identical.
+func (n *Netlist) stampMatrix(b adder) {
 	for _, r := range n.resistors {
 		stampConductance(b, r.a, r.b, r.g)
 	}
 	for _, t := range n.ties {
 		b.Add(t.node, t.node, t.g)
+	}
+	for _, c := range n.converters {
+		stampConverter(b, c)
+	}
+	// DC treatment of dynamic elements: capacitors are open circuits,
+	// inductors near-ideal shorts.
+	for _, l := range n.inductors {
+		stampConductance(b, l.a, l.b, 1/RIndDC)
+	}
+}
+
+// stampRHS writes the right-hand side (rail injections, DC loads, and the
+// t=0 value of transient loads) into rhs, zeroing it first.
+func (n *Netlist) stampRHS(rhs []float64) {
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	for _, t := range n.ties {
 		rhs[t.node] += t.g * t.vRail
 	}
 	for _, l := range n.loads {
@@ -278,14 +329,6 @@ func (n *Netlist) Solve(opts SolveOptions) (*Solution, error) {
 			rhs[l.to] += l.i
 		}
 	}
-	for _, c := range n.converters {
-		stampConverter(b, c)
-	}
-	// DC treatment of dynamic elements: capacitors are open circuits,
-	// inductors near-ideal shorts, transient loads take their t=0 value.
-	for _, l := range n.inductors {
-		stampConductance(b, l.a, l.b, 1/RIndDC)
-	}
 	for _, tl := range n.tloads {
 		i := tl.fn(0)
 		if tl.from != Ground {
@@ -295,47 +338,38 @@ func (n *Netlist) Solve(opts SolveOptions) (*Solution, error) {
 			rhs[tl.to] += i
 		}
 	}
+}
+
+// Solve assembles the conductance matrix and solves for all node voltages.
+func (n *Netlist) Solve(opts SolveOptions) (*Solution, error) {
+	nn := n.numNodes
+	if nn == 0 {
+		return &Solution{net: n}, nil
+	}
+	if err := n.CheckConnectivity(); err != nil {
+		return nil, err
+	}
+	b := sparse.NewBuilder(nn)
+	n.stampMatrix(b)
+	rhs := make([]float64, nn)
+	n.stampRHS(rhs)
 
 	a := b.ToCSR()
 	sol := &Solution{net: n}
 
-	kind := opts.Solver
-	if kind == Auto {
-		if nn <= directThreshold {
-			kind = Direct
-		} else {
-			kind = PCGIC0
-		}
-	}
-	tol := opts.Tol
-	if tol == 0 {
-		tol = 1e-10
-	}
-	maxIter := opts.MaxIter
-	if maxIter == 0 {
-		maxIter = 20 * nn
-		if maxIter < 1000 {
-			maxIter = 1000
-		}
-	}
+	kind, tol, maxIter := opts.resolve(nn)
 
 	switch kind {
 	case Direct:
 		f, err := sparse.FactorCholesky(a)
 		if err != nil {
-			if errors.Is(err, sparse.ErrNotPositiveDefinite) {
-				return nil, fmt.Errorf("%w: %v", ErrFloating, err)
-			}
-			return nil, err
+			return nil, wrapSPD(err)
 		}
 		sol.v = f.Solve(rhs)
 	case DirectSparseND:
 		f, err := sparse.FactorSparse(a, sparse.OrderND)
 		if err != nil {
-			if errors.Is(err, sparse.ErrNotPositiveDefinite) {
-				return nil, fmt.Errorf("%w: %v", ErrFloating, err)
-			}
-			return nil, err
+			return nil, wrapSPD(err)
 		}
 		sol.v = f.Solve(rhs)
 	case PCGIC0, PCGJacobi:
@@ -363,7 +397,7 @@ func (n *Netlist) Solve(opts SolveOptions) (*Solution, error) {
 	return sol, nil
 }
 
-func stampConductance(b *sparse.Builder, i, j int, g float64) {
+func stampConductance(b adder, i, j int, g float64) {
 	if i != Ground {
 		b.Add(i, i, g)
 	}
@@ -378,7 +412,7 @@ func stampConductance(b *sparse.Builder, i, j int, g float64) {
 
 // stampConverter adds G·vvᵀ over (top, bottom, mid) with v = (1/2, 1/2, -1),
 // plus the parasitic shunt across (top, bottom).
-func stampConverter(b *sparse.Builder, c converter) {
+func stampConverter(b adder, c converter) {
 	nodes := [3]int{c.top, c.bottom, c.mid}
 	coef := [3]float64{0.5, 0.5, -1}
 	for i := 0; i < 3; i++ {

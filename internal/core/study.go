@@ -60,6 +60,11 @@ type Study struct {
 	// overridable via VOLTSTACK_WORKERS). Every experiment returns the
 	// same values for every worker count.
 	Workers int
+
+	// ForceFreshSolve disables the prepared-solve engine on every PDN the
+	// study builds, restoring the rebuild-everything baseline (used by the
+	// fresh-vs-prepared benchmark pairs and equivalence tests).
+	ForceFreshSolve bool
 }
 
 // NewStudy returns the paper's configuration: the 16-core A9-class layer,
@@ -98,6 +103,7 @@ func (s *Study) RegularPDN(layers int, tsv pdngrid.TSVTopology, padFrac float64)
 		Params:           s.Params,
 		TSV:              tsv,
 		PadPowerFraction: padFrac,
+		ForceFreshSolve:  s.ForceFreshSolve,
 	})
 }
 
@@ -112,6 +118,7 @@ func (s *Study) VoltageStackedPDN(layers, convPerCore int, tsv pdngrid.TSVTopolo
 		PadPowerFraction:  padFrac,
 		ConvertersPerCore: convPerCore,
 		Converter:         s.Converter,
+		ForceFreshSolve:   s.ForceFreshSolve,
 	})
 }
 

@@ -80,6 +80,11 @@ type Space struct {
 	// < 1 selects parallel.DefaultWorkers (GOMAXPROCS, overridable via
 	// VOLTSTACK_WORKERS). Results are identical for every worker count.
 	Workers int
+
+	// ForceFreshSolve disables the per-PDN prepared-solve engine and
+	// rebuilds every network from scratch — the pre-caching baseline, kept
+	// for benchmarking and equivalence tests.
+	ForceFreshSolve bool
 }
 
 // DefaultSpace enumerates the paper's axes at the application-average
@@ -132,6 +137,7 @@ func (s Space) Evaluate(d Design) (*Metrics, error) {
 		PadPowerFraction:  d.PadPowerFraction,
 		ConvertersPerCore: d.ConvertersPerCore,
 		Converter:         s.Converter,
+		ForceFreshSolve:   s.ForceFreshSolve,
 	}
 	p, err := pdngrid.New(cfg)
 	if err != nil {

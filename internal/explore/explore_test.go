@@ -137,6 +137,21 @@ func TestRunWorkerEquivalence(t *testing.T) {
 	if len(ref.Points) == 0 {
 		t.Fatal("empty serial reference")
 	}
+
+	// The prepared-solve engine must not change a single bit versus the
+	// rebuild-everything baseline, at any worker count.
+	for _, workers := range []int{1, 2, 8} {
+		s := base
+		s.Workers = workers
+		s.ForceFreshSolve = true
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("fresh workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("ForceFreshSolve workers=%d result differs from prepared run", workers)
+		}
+	}
 }
 
 func TestRunContextCancelled(t *testing.T) {

@@ -3,6 +3,7 @@ package pdngrid
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"voltstack/internal/circuit"
 	"voltstack/internal/floorplan"
@@ -52,6 +53,17 @@ type Config struct {
 	Control           sc.Control // nil means open loop
 
 	Solve circuit.SolveOptions
+
+	// ForceFreshSolve bypasses the prepared-solve engine and rebuilds the
+	// network from scratch on every (outer) solve — the historical slow
+	// path, kept as a benchmarking baseline and an equivalence oracle.
+	ForceFreshSolve bool
+	// NoWarmStart disables warm-starting closed-loop outer iterations from
+	// the previous iterate. With it set, the prepared path is bit-identical
+	// to ForceFreshSolve even in closed loop; without it, iterative solvers
+	// converge in fewer iterations to the same tolerance (results then agree
+	// to solver tolerance rather than bitwise).
+	NoWarmStart bool
 }
 
 // Validate checks the configuration.
@@ -104,6 +116,32 @@ type PDN struct {
 	padSites []lumpSite // C4 power pads on the bottom layer
 	tsvSites []lumpSite // per-boundary TSV sites (same placement each boundary)
 	convCell []int      // converter host cells (per core × ConvertersPerCore)
+
+	// Prepared-engine cache: every Solve on this PDN shares one sparsity
+	// structure, so the compiled engine is parked here between calls. Take
+	// and put-back under the mutex keeps concurrent Solve calls safe (a
+	// second caller simply builds its own engine; the spare is dropped).
+	engMu sync.Mutex
+	eng   *engine
+}
+
+// takeEngine removes the cached engine, if any, for exclusive use.
+func (p *PDN) takeEngine() *engine {
+	p.engMu.Lock()
+	defer p.engMu.Unlock()
+	e := p.eng
+	p.eng = nil
+	return e
+}
+
+// putEngine parks an engine for the next Solve. If the slot is already
+// occupied (a concurrent call returned first) the engine is dropped.
+func (p *PDN) putEngine(e *engine) {
+	p.engMu.Lock()
+	defer p.engMu.Unlock()
+	if p.eng == nil {
+		p.eng = e
+	}
 }
 
 // New validates the configuration and computes all placements.

@@ -18,6 +18,13 @@ var (
 	mAssembleSeconds = telemetry.NewHistogram("pdngrid_assemble_seconds")
 	mSolveSeconds    = telemetry.NewHistogram("pdngrid_linear_solve_seconds")
 	mNodesHist       = telemetry.NewHistogram("pdngrid_nodes")
+	// Prepared-engine cache effectiveness: builds are structure-cache
+	// misses, reuses are hits; warm-start savings estimate how many PCG
+	// iterations the previous-iterate starts avoided (versus the cold
+	// first pass of the same closed-loop solve).
+	mEngineBuilds  = telemetry.NewCounter("pdngrid_engine_builds_total")
+	mEngineReuses  = telemetry.NewCounter("pdngrid_engine_reuses_total")
+	mWarmIterSaved = telemetry.NewCounter("pdngrid_warmstart_iterations_saved_total")
 )
 
 // Result holds the solved state of one PDN scenario.
@@ -77,6 +84,20 @@ func UniformActivities(layers, cores int, act float64) [][]float64 {
 	return out
 }
 
+// interleavedActivity returns the activity of layer l under the paper's
+// interleaved imbalance pattern: even layers fully active, odd layers at
+// 1 - imbalance, clamped at zero.
+func interleavedActivity(l int, imbalance float64) float64 {
+	if l%2 == 0 {
+		return 1
+	}
+	act := 1 - imbalance
+	if act < 0 {
+		act = 0
+	}
+	return act
+}
+
 // InterleavedActivities returns the paper's Fig. 6 benchmark pattern:
 // even layers (0, 2, ...) fully active, odd layers at activity
 // 1 - imbalance. This stresses every converter with the same differential
@@ -84,13 +105,7 @@ func UniformActivities(layers, cores int, act float64) [][]float64 {
 func InterleavedActivities(layers, cores int, imbalance float64) [][]float64 {
 	out := make([][]float64, layers)
 	for l := range out {
-		act := 1.0
-		if l%2 == 1 {
-			act = 1 - imbalance
-			if act < 0 {
-				act = 0
-			}
-		}
+		act := interleavedActivity(l, imbalance)
 		row := make([]float64, cores)
 		for c := range row {
 			row[c] = act
@@ -102,6 +117,14 @@ func InterleavedActivities(layers, cores int, imbalance float64) [][]float64 {
 
 // Solve builds the MNA network for the given per-layer, per-core activity
 // factors and solves it. activities must be Layers x NumCores.
+//
+// By default the solve runs on a prepared engine cached on the PDN: the
+// network is assembled and symbolically analyzed once, then every solve —
+// including closed-loop outer iterations and subsequent Solve calls — only
+// restamps changed element values, refactors numerically on the cached
+// structure, and (in closed loop) warm-starts the iterative solver from
+// the previous outer iterate. Cfg.ForceFreshSolve restores the historical
+// rebuild-everything path.
 func (p *PDN) Solve(activities [][]float64) (*Result, error) {
 	cfg := p.Cfg
 	if len(activities) != cfg.Layers {
@@ -141,6 +164,16 @@ func (p *PDN) Solve(activities [][]float64) (*Result, error) {
 		}
 	}
 
+	if cfg.ForceFreshSolve {
+		return p.solveFresh(loads, freqs, ctrl, maxOuter)
+	}
+	return p.solvePrepared(loads, freqs, ctrl, maxOuter)
+}
+
+// solveFresh is the historical solve loop: every outer pass rebuilds the
+// netlist, re-sorts the assembly, reorders and refactors from scratch.
+func (p *PDN) solveFresh(loads [][]float64, freqs []float64, ctrl sc.Control, maxOuter int) (*Result, error) {
+	cfg := p.Cfg
 	var res *Result
 	var prevJ []float64
 	totalIters := 0
@@ -177,6 +210,129 @@ func (p *PDN) Solve(activities [][]float64) (*Result, error) {
 	return res, nil
 }
 
+// engine pairs one assembled network with its compiled solve plan.
+type engine struct {
+	asm  *assembled
+	prep *circuit.Prepared
+}
+
+// applyLoads writes this call's per-cell load currents into the engine.
+func (e *engine) applyLoads(loads [][]float64, nCells int) {
+	for l := range loads {
+		for c, amps := range loads[l] {
+			e.prep.SetLoad(e.asm.loadIDs[l*nCells+c], amps)
+		}
+	}
+}
+
+// applyConverters writes the converter operating point for the given
+// per-converter switching frequencies into the engine.
+func (e *engine) applyConverters(cfg Config, freqs []float64) {
+	for i, id := range e.asm.convIDs {
+		f := cfg.Converter.FSw
+		if len(freqs) > 0 {
+			f = freqs[i]
+		}
+		rs := cfg.Converter.RSeries(f)
+		gPar := cfg.Converter.ParasiticShuntG(f, 2*cfg.Params.Vdd)
+		e.prep.SetConverter(id, rs, gPar)
+	}
+}
+
+// solvePrepared runs the solve (and any closed-loop outer iterations) on
+// the PDN's cached prepared engine, building it on the first call. With a
+// cold start and no warm starts the results are bit-identical to
+// solveFresh; warm starts change only the iterative-solver trajectory, not
+// the sparsity structure or the converged answer beyond solver tolerance.
+func (p *PDN) solvePrepared(loads [][]float64, freqs []float64, ctrl sc.Control, maxOuter int) (*Result, error) {
+	cfg := p.Cfg
+
+	sp := telemetry.StartSpan("pdngrid.solve")
+	defer sp.End()
+
+	eng := p.takeEngine()
+	if eng == nil {
+		spA := sp.Start("assemble")
+		tA := telemetry.Now()
+		asm := p.assemble(loads, freqs, nil)
+		prep, err := asm.net.Compile(cfg.Solve)
+		mAssembleSeconds.Since(tA)
+		spA.End()
+		if err != nil {
+			return nil, fmt.Errorf("pdngrid: %v", err)
+		}
+		eng = &engine{asm: asm, prep: prep}
+		mEngineBuilds.Add(1)
+	} else {
+		// Structure is shared across calls; only values differ.
+		mEngineReuses.Add(1)
+		spA := sp.Start("restamp")
+		tA := telemetry.Now()
+		eng.applyLoads(loads, p.nCells)
+		eng.applyConverters(cfg, freqs)
+		mAssembleSeconds.Since(tA)
+		spA.End()
+	}
+	defer p.putEngine(eng)
+
+	warm := !cfg.NoWarmStart
+	var res *Result
+	var prevJ, x0 []float64
+	totalIters := 0
+	outerDone := 0
+	firstIters := 0
+	for outer := 0; outer < maxOuter; outer++ {
+		if outer > 0 {
+			eng.applyConverters(cfg, freqs)
+		}
+		spS := sp.Start("linear-solve")
+		tS := telemetry.Now()
+		sol, err := eng.prep.Solve(x0)
+		mSolveSeconds.Since(tS)
+		spS.End()
+		if err != nil {
+			return nil, fmt.Errorf("pdngrid: %v", err)
+		}
+		mSolves.Add(1)
+		mNodesHist.Observe(float64(eng.asm.net.NumNodes()))
+
+		res = p.extractResult(eng.asm, sol)
+		totalIters += res.SolverIterations
+		if outer == 0 {
+			firstIters = res.SolverIterations
+		} else if warm {
+			if saved := int64(firstIters - res.SolverIterations); saved > 0 {
+				mWarmIterSaved.Add(saved)
+			}
+		}
+		outerDone++
+		if maxOuter == 1 {
+			break
+		}
+		// Update per-converter frequencies from the solved currents.
+		converged := prevJ != nil
+		for i, j := range res.ConverterCurrents {
+			freqs[i] = ctrl.Freq(cfg.Converter, j)
+			if prevJ != nil {
+				if math.Abs(j-prevJ[i]) > 1e-4*(math.Abs(j)+1e-6) {
+					converged = false
+				}
+			}
+		}
+		if converged {
+			break
+		}
+		prevJ = append(prevJ[:0], res.ConverterCurrents...)
+		if warm {
+			x0 = sol.Voltages()
+		}
+	}
+	res.OuterIterations = outerDone
+	res.TotalSolverIterations = totalIters
+	mOuterIters.Add(int64(outerDone))
+	return res, nil
+}
+
 // dynSpec adds dynamic elements for transient analysis.
 type dynSpec struct {
 	scale        func(t float64) float64 // load scaling over time
@@ -196,6 +352,7 @@ type assembled struct {
 	tvRes    []circuit.ResistorID
 	tvRefs   []lumpRef
 	convIDs  []circuit.ConverterID
+	loadIDs  []circuit.LoadID // static DC path only: one per layer×cell
 	vddBoard int
 	gndBoard int
 }
@@ -235,21 +392,30 @@ func (p *PDN) assemble(loads [][]float64, freqs []float64, dyn *dynSpec) *assemb
 
 	// Loads: per cell, between the layer's Vdd and ground meshes. With a
 	// dynamic spec the loads follow amps·scale(t); on-die decoupling
-	// capacitance sits in parallel with every cell load.
+	// capacitance sits in parallel with every cell load. On the static DC
+	// path every cell gets a load element even at 0 A (a zero source is
+	// electrically inert and bit-neutral in the RHS) so the network
+	// structure is invariant across activity patterns — the prepared
+	// engine then reuses one compiled structure for all of them.
 	for l := 0; l < L; l++ {
 		for c, amps := range loads[l] {
-			if amps > 0 {
-				if dyn != nil && dyn.scale != nil {
-					base := amps
-					net.AddTransientLoad(node(l, 0, c), node(l, 1, c), func(t float64) float64 {
-						return base * dyn.scale(t)
-					})
-				} else {
-					net.AddLoad(node(l, 0, c), node(l, 1, c), amps)
+			if dyn != nil {
+				if amps > 0 {
+					if dyn.scale != nil {
+						base := amps
+						net.AddTransientLoad(node(l, 0, c), node(l, 1, c), func(t float64) float64 {
+							return base * dyn.scale(t)
+						})
+					} else {
+						net.AddLoad(node(l, 0, c), node(l, 1, c), amps)
+					}
 				}
-			}
-			if dyn != nil && dyn.decapPerCell > 0 {
-				net.AddCapacitor(node(l, 0, c), node(l, 1, c), dyn.decapPerCell)
+				if dyn.decapPerCell > 0 {
+					net.AddCapacitor(node(l, 0, c), node(l, 1, c), dyn.decapPerCell)
+				}
+			} else {
+				id := net.AddLoad(node(l, 0, c), node(l, 1, c), amps)
+				a.loadIDs = append(a.loadIDs, id)
 			}
 		}
 	}
@@ -369,9 +535,6 @@ func (p *PDN) assemble(loads [][]float64, freqs []float64, dyn *dynSpec) *assemb
 
 func (p *PDN) solveOnce(loads [][]float64, freqs []float64) (*Result, error) {
 	cfg := p.Cfg
-	prm := cfg.Params
-	nCells := p.nCells
-	L := cfg.Layers
 
 	sp := telemetry.StartSpan("pdngrid.solve")
 	defer sp.End()
@@ -381,7 +544,6 @@ func (p *PDN) solveOnce(loads [][]float64, freqs []float64) (*Result, error) {
 	asm := p.assemble(loads, freqs, nil)
 	mAssembleSeconds.Since(tA)
 	spA.End()
-	node := asm.node
 
 	spS := sp.Start("linear-solve")
 	tS := telemetry.Now()
@@ -393,6 +555,19 @@ func (p *PDN) solveOnce(loads [][]float64, freqs []float64) (*Result, error) {
 	}
 	mSolves.Add(1)
 	mNodesHist.Observe(float64(asm.net.NumNodes()))
+
+	return p.extractResult(asm, sol), nil
+}
+
+// extractResult derives all scenario metrics from a solved network. It is
+// shared by the fresh and prepared paths, so a bit-identical Solution
+// yields a bit-identical Result.
+func (p *PDN) extractResult(asm *assembled, sol *circuit.Solution) *Result {
+	cfg := p.Cfg
+	prm := cfg.Params
+	nCells := p.nCells
+	L := cfg.Layers
+	node := asm.node
 
 	res := &Result{
 		SolverIterations:      sol.Iterations,
@@ -464,7 +639,7 @@ func (p *PDN) solveOnce(loads [][]float64, freqs []float64) (*Result, error) {
 	if res.InputPower > 0 {
 		res.Efficiency = res.LoadPower / res.InputPower
 	}
-	return res, nil
+	return res
 }
 
 // lumpRef describes how a lumped element expands into EM conductors: count
@@ -514,13 +689,7 @@ func RegularSCEfficiency(cfg Config, imbalance float64) (float64, error) {
 	nCores := cfg.Chip.NumCores()
 	var loadP, inP float64
 	for l := 0; l < cfg.Layers; l++ {
-		act := 1.0
-		if l%2 == 1 {
-			act = 1 - imbalance
-			if act < 0 {
-				act = 0
-			}
-		}
+		act := interleavedActivity(l, imbalance)
 		pCore := core.Total(act, vdd, core.FClk)
 		iConv := pCore / vdd / float64(cfg.ConvertersPerCore)
 		op := sc.Evaluate(cfg.Converter, ctrl, 2*vdd, iConv)

@@ -78,18 +78,124 @@ type IC0Prec struct {
 	tmp   []float64
 }
 
+// IC0Symbolic is the structure-only half of NewIC0: the lower-triangle
+// pattern of A, a value map from A's CSR entries into it, a per-row
+// diagonal-index table, and the transpose pattern with its placement map.
+// It is computed once per sparsity structure; Factor then produces the
+// preconditioner for any matrix with that structure without rebuilding the
+// pattern, re-sorting, or rediscovering diagonals.
+type IC0Symbolic struct {
+	n         int
+	low       *CSR    // lower-triangle structure template (values unused)
+	lowMap    []int32 // A's CSR entry k -> low val index, or -1 (upper part)
+	diagIdx   []int32 // per-row val index of the diagonal entry in low
+	upper     *CSR    // transpose structure template (values unused)
+	upFromLow []int32 // upper val index -> low val index
+}
+
 // NewIC0 computes an incomplete Cholesky factorization of the SPD matrix a.
 // If the factorization breaks down (non-positive pivot), the diagonal is
 // shifted by successively larger multiples of its magnitude and the
 // factorization retried; an error is returned only if even a large shift
 // fails.
 func NewIC0(a *CSR) (*IC0Prec, error) {
+	sym, err := NewIC0Symbolic(a)
+	if err != nil {
+		return nil, err
+	}
+	return sym.Factor(a, nil)
+}
+
+// NewIC0Symbolic performs the structural phase of NewIC0. It fails only on
+// a structurally missing diagonal entry.
+func NewIC0Symbolic(a *CSR) (*IC0Symbolic, error) {
+	symbolicBuilt()
+	n := a.N()
+	s := &IC0Symbolic{n: n}
+
+	// Lower-triangle structure. Builder entries are unique here, so value
+	// placement during Factor is pure assignment.
+	lb := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		a.Row(i, func(j int, _ float64) {
+			if j <= i {
+				lb.Add(i, j, 1)
+			}
+		})
+	}
+	s.low = lb.ToCSR()
+	s.lowMap = make([]int32, a.NNZ())
+	k := 0
+	for i := 0; i < n; i++ {
+		a.Row(i, func(j int, _ float64) {
+			if j <= i {
+				s.lowMap[k] = int32(s.low.entryIndex(i, j))
+			} else {
+				s.lowMap[k] = -1
+			}
+			k++
+		})
+	}
+
+	// Diagonal-index table: rows are sorted ascending, so in the lower
+	// triangle the diagonal is the last stored entry of its row.
+	s.diagIdx = make([]int32, n)
+	for i := 0; i < n; i++ {
+		hi := s.low.rowPtr[i+1]
+		if hi == s.low.rowPtr[i] || int(s.low.col[hi-1]) != i {
+			return nil, fmt.Errorf("sparse: IC(0): missing diagonal at row %d", i)
+		}
+		s.diagIdx[i] = int32(hi - 1)
+	}
+
+	// Transpose structure for the backward sweep, plus the map that carries
+	// factor values across (assignment; entries are unique).
+	ub := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		s.low.Row(i, func(j int, _ float64) { ub.Add(j, i, 1) })
+	}
+	s.upper = ub.ToCSR()
+	s.upFromLow = make([]int32, s.upper.NNZ())
+	for i := 0; i < n; i++ {
+		for kk := s.low.rowPtr[i]; kk < s.low.rowPtr[i+1]; kk++ {
+			j := int(s.low.col[kk])
+			s.upFromLow[s.upper.entryIndex(j, i)] = int32(kk)
+		}
+	}
+	return s, nil
+}
+
+// N returns the system dimension.
+func (s *IC0Symbolic) N() int { return s.n }
+
+// Factor numerically builds the preconditioner for a, which must share the
+// sparsity structure of the symbolic phase. When p is non-nil its storage
+// is reused; otherwise a new IC0Prec is allocated. Breakdown triggers the
+// same diagonal-shift retry ladder as NewIC0. The result is bit-identical
+// to NewIC0 on the same values.
+func (s *IC0Symbolic) Factor(a *CSR, p *IC0Prec) (*IC0Prec, error) {
 	t0 := telemetry.Now()
 	defer func() { mPrecondBuilds.Add(1); mPrecondSeconds.Since(t0) }()
+	rt0 := refactorStart()
+	defer refactorEnd(rt0)
+	if a.N() != s.n || a.NNZ() != len(s.lowMap) {
+		return nil, fmt.Errorf("sparse: IC(0) Factor: matrix structure does not match symbolic phase")
+	}
+	if p == nil {
+		p = &IC0Prec{
+			lower: &CSR{n: s.n, rowPtr: s.low.rowPtr, col: s.low.col, val: make([]float64, s.low.NNZ())},
+			upper: &CSR{n: s.n, rowPtr: s.upper.rowPtr, col: s.upper.col, val: make([]float64, s.upper.NNZ())},
+			scale: make([]float64, s.n),
+			tmp:   make([]float64, s.n),
+		}
+	}
 	for shift := 0.0; shift <= 1.0; {
-		p, err := tryIC0(a, shift)
+		err := s.factorShift(a, p, shift)
 		if err == nil {
 			return p, nil
+		}
+		if !errors.Is(err, ErrNotPositiveDefinite) {
+			return nil, err
 		}
 		if shift == 0 {
 			shift = 1e-3
@@ -100,20 +206,28 @@ func NewIC0(a *CSR) (*IC0Prec, error) {
 	return nil, fmt.Errorf("sparse: IC(0) breakdown persists under diagonal shifting: %w", ErrNotPositiveDefinite)
 }
 
-func tryIC0(a *CSR, shift float64) (*IC0Prec, error) {
-	n := a.N()
+// factorShift is one factorization attempt at a given diagonal shift,
+// writing into p's storage. The arithmetic sequence matches the historical
+// from-scratch tryIC0 exactly.
+func (sym *IC0Symbolic) factorShift(a *CSR, p *IC0Prec, shift float64) error {
+	n := sym.n
 	// Symmetric Jacobi scaling: factor D^-1/2 A D^-1/2, which has a unit
 	// diagonal and bounded off-diagonal magnitudes.
-	scale := make([]float64, n)
+	scale := p.scale
 	for i, d := range a.Diag() {
 		if d <= 0 {
-			return nil, fmt.Errorf("sparse: IC(0): non-positive diagonal at row %d: %w", i, ErrNotPositiveDefinite)
+			return fmt.Errorf("sparse: IC(0): non-positive diagonal at row %d: %w", i, ErrNotPositiveDefinite)
 		}
 		scale[i] = 1 / math.Sqrt(d)
 	}
-	low := a.Lower()
-	// Copy values so we can factor in place; scale and apply the shift.
-	l := low.Clone()
+	// Place the lower triangle of a, scaled and shifted, into the factor
+	// storage (in-place factorization).
+	l := p.lower
+	for k, m := range sym.lowMap {
+		if m >= 0 {
+			l.val[m] = a.val[k]
+		}
+	}
 	for i := 0; i < n; i++ {
 		lo, hi := l.rowPtr[i], l.rowPtr[i+1]
 		for k := lo; k < hi; k++ {
@@ -125,20 +239,17 @@ func tryIC0(a *CSR, shift float64) (*IC0Prec, error) {
 		}
 	}
 
-	// Row-oriented IC(0).
+	// Row-oriented IC(0). The diagonal of each row sits at diagIdx (last
+	// entry), so no per-entry diagonal scan is needed.
+	diagIdx := sym.diagIdx
 	for i := 0; i < n; i++ {
-		iLo, iHi := l.rowPtr[i], l.rowPtr[i+1]
-		var diagIdx = -1
-		for k := iLo; k < iHi; k++ {
+		iLo := l.rowPtr[i]
+		di := int(diagIdx[i])
+		for k := iLo; k < di; k++ {
 			j := int(l.col[k])
-			if j == i {
-				diagIdx = k
-				continue
-			}
 			// L[i][j] = (A[i][j] - Σ_k<j L[i][k] L[j][k]) / L[j][j]
 			jLo, jHi := l.rowPtr[j], l.rowPtr[j+1]
 			s := l.val[k]
-			var ljj float64
 			ki, kj := iLo, jLo
 			for ki < k && kj < jHi {
 				ci, cj := l.col[ki], l.col[kj]
@@ -155,39 +266,31 @@ func tryIC0(a *CSR, shift float64) (*IC0Prec, error) {
 					kj++
 				}
 			}
-			for kk := jLo; kk < jHi; kk++ {
-				if int(l.col[kk]) == j {
-					ljj = l.val[kk]
-					break
-				}
-			}
+			ljj := l.val[diagIdx[j]]
 			if ljj == 0 {
-				return nil, ErrNotPositiveDefinite
+				return ErrNotPositiveDefinite
 			}
 			l.val[k] = s / ljj
 		}
-		if diagIdx < 0 {
-			return nil, fmt.Errorf("sparse: IC(0): missing diagonal at row %d", i)
-		}
-		d := l.val[diagIdx]
-		for k := iLo; k < diagIdx; k++ {
+		d := l.val[di]
+		for k := iLo; k < di; k++ {
 			d -= l.val[k] * l.val[k]
 		}
 		// On the scaled matrix the diagonal is 1+shift, so a pivot far
 		// below 1 signals (near-)breakdown; treat it as such rather than
 		// producing a disastrously conditioned factor.
 		if d <= 1e-4 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
-		l.val[diagIdx] = math.Sqrt(d)
+		l.val[di] = math.Sqrt(d)
 	}
 
-	// Build the transpose for the backward sweep.
-	ub := NewBuilder(n)
-	for i := 0; i < n; i++ {
-		l.Row(i, func(j int, v float64) { ub.Add(j, i, v) })
+	// Carry the factor values into the transpose for the backward sweep.
+	up := p.upper
+	for t, m := range sym.upFromLow {
+		up.val[t] = l.val[m]
 	}
-	return &IC0Prec{lower: l, upper: ub.ToCSR(), scale: scale, tmp: make([]float64, n)}, nil
+	return nil
 }
 
 // Apply solves (D^1/2 L Lᵀ D^1/2) z = r, the preconditioner in the
@@ -195,39 +298,33 @@ func tryIC0(a *CSR, shift float64) (*IC0Prec, error) {
 func (p *IC0Prec) Apply(r, z []float64) {
 	n := p.lower.N()
 	y := p.tmp
-	// Forward: L y = D^-1/2 r. Rows of L are sorted, diagonal last.
+	scale := p.scale
+	// Forward: L y = D^-1/2 r. Rows of L are sorted, so the diagonal (whose
+	// presence the symbolic phase guarantees) is each row's last entry; the
+	// off-diagonal accumulation order matches the branch-per-entry original
+	// exactly, keeping the solve bit-identical.
+	lval, lcol, lptr := p.lower.val, p.lower.col, p.lower.rowPtr
 	for i := 0; i < n; i++ {
-		s := r[i] * p.scale[i]
-		var d float64
-		lo, hi := p.lower.rowPtr[i], p.lower.rowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			j := int(p.lower.col[k])
-			if j == i {
-				d = p.lower.val[k]
-			} else {
-				s -= p.lower.val[k] * y[j]
-			}
+		s := r[i] * scale[i]
+		lo, hi := lptr[i], lptr[i+1]
+		for k := lo; k < hi-1; k++ {
+			s -= lval[k] * y[lcol[k]]
 		}
-		y[i] = s / d
+		y[i] = s / lval[hi-1]
 	}
 	// Backward: Lᵀ w = y, then z = D^-1/2 w. Rows of upper are sorted,
 	// diagonal first.
+	uval, ucol, uptr := p.upper.val, p.upper.col, p.upper.rowPtr
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
-		var d float64
-		lo, hi := p.upper.rowPtr[i], p.upper.rowPtr[i+1]
-		for k := lo; k < hi; k++ {
-			j := int(p.upper.col[k])
-			if j == i {
-				d = p.upper.val[k]
-			} else {
-				s -= p.upper.val[k] * z[j]
-			}
+		lo, hi := uptr[i], uptr[i+1]
+		for k := lo + 1; k < hi; k++ {
+			s -= uval[k] * z[ucol[k]]
 		}
-		z[i] = s / d
+		z[i] = s / uval[lo]
 	}
 	for i := 0; i < n; i++ {
-		z[i] *= p.scale[i]
+		z[i] *= scale[i]
 	}
 }
 
@@ -237,11 +334,42 @@ type CGResult struct {
 	Residual   float64 // final relative residual ‖b−Ax‖₂/‖b‖₂
 }
 
+// PCGWorkspace holds the scratch vectors of a PCG solve so repeated solves
+// on same-sized systems allocate nothing. A workspace must not be shared
+// between concurrent solves.
+type PCGWorkspace struct {
+	r, z, p, ap []float64
+}
+
+// NewPCGWorkspace returns a workspace for n-dimensional solves.
+func NewPCGWorkspace(n int) *PCGWorkspace {
+	return &PCGWorkspace{
+		r:  make([]float64, n),
+		z:  make([]float64, n),
+		p:  make([]float64, n),
+		ap: make([]float64, n),
+	}
+}
+
+func (w *PCGWorkspace) resize(n int) {
+	if len(w.r) != n {
+		*w = *NewPCGWorkspace(n)
+	}
+}
+
 // PCG solves A x = b for SPD A using the preconditioned conjugate gradient
 // method. x0 may be nil (zero initial guess). The solve stops when the
 // relative residual drops below tol or maxIter iterations elapse.
 func PCG(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int) ([]float64, CGResult, error) {
-	x, res, err := pcg(a, b, x0, prec, tol, maxIter)
+	return PCGW(a, b, x0, prec, tol, maxIter, nil)
+}
+
+// PCGW is PCG with an optional caller-owned scratch workspace; ws may be
+// nil, in which case scratch is allocated per call. Results are
+// bit-identical regardless of workspace reuse (every scratch vector is
+// fully overwritten before use).
+func PCGW(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int, ws *PCGWorkspace) ([]float64, CGResult, error) {
+	x, res, err := pcg(a, b, x0, prec, tol, maxIter, ws)
 	mPCGSolves.Add(1)
 	mPCGIterations.Add(int64(res.Iterations))
 	mPCGIterHist.Observe(float64(res.Iterations))
@@ -252,7 +380,7 @@ func PCG(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int)
 	return x, res, err
 }
 
-func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int) ([]float64, CGResult, error) {
+func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int, ws *PCGWorkspace) ([]float64, CGResult, error) {
 	n := a.N()
 	if len(b) != n {
 		panic("sparse: PCG dimension mismatch")
@@ -260,11 +388,17 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int)
 	if prec == nil {
 		prec = IdentityPrec{}
 	}
+	if ws == nil {
+		ws = NewPCGWorkspace(n)
+	} else {
+		ws.resize(n)
+	}
+	// x is allocated per solve: it is returned to (and kept by) the caller.
 	x := make([]float64, n)
 	if x0 != nil {
 		copy(x, x0)
 	}
-	r := make([]float64, n)
+	r := ws.r
 	a.MulVec(x, r)
 	Sub(b, r, r)
 	normB := Norm2(b)
@@ -272,9 +406,7 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int)
 		return x, CGResult{0, 0}, nil // b = 0 => x = 0 (or x0 residual already 0)
 	}
 
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	z, p, ap := ws.z, ws.p, ws.ap
 	prec.Apply(r, z)
 	copy(p, z)
 	rz := Dot(r, z)
@@ -287,12 +419,27 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int)
 		a.MulVec(p, ap)
 		pap := Dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
+			// Breakdown: report the true residual of the current iterate
+			// (recomputed as b − A·x, not the recursively updated estimate
+			// from the previous iteration). ap is dead here; reuse it.
+			a.MulVec(x, ap)
+			Sub(b, ap, ap)
+			res = Norm2(ap) / normB
 			return x, CGResult{it, res}, fmt.Errorf("sparse: PCG: matrix not SPD (pᵀAp=%g at iter %d)", pap, it)
 		}
 		alpha := rz / pap
-		Axpy(alpha, p, x)
-		Axpy(-alpha, ap, r)
-		res = Norm2(r) / normB
+		// Fused iterate/residual update and residual norm: one pass over
+		// the vectors instead of three (Axpy, Axpy, Norm2). Each
+		// accumulation runs in the same index order as the separate calls,
+		// so the results are bit-identical.
+		var rr float64
+		for i := range r {
+			x[i] += alpha * p[i]
+			ri := r[i] - alpha*ap[i]
+			r[i] = ri
+			rr += ri * ri
+		}
+		res = math.Sqrt(rr) / normB
 		if res <= tol {
 			return x, CGResult{it, res}, nil
 		}

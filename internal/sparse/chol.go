@@ -22,11 +22,25 @@ type SkylineChol struct {
 	val    []float64
 }
 
+// SkylineSymbolic is the structure-only half of the skyline factorization:
+// the fill-reducing permutation, the envelope layout, and a scatter map
+// from the matrix's CSR entries into envelope slots. It is computed once
+// per sparsity structure; Refactor then produces a numeric factorization
+// for any matrix sharing that structure without re-running RCM or the
+// envelope analysis.
+type SkylineSymbolic struct {
+	n       int
+	perm    []int
+	inv     []int
+	first   []int
+	rowPtr  []int
+	scatter []int32 // CSR entry k -> envelope index, or -1 (upper triangle)
+}
+
 // FactorCholesky computes the skyline Cholesky factorization of the
 // symmetric positive definite matrix a. The input is not modified.
 func FactorCholesky(a *CSR) (*SkylineChol, error) {
-	perm := RCM(a)
-	return factorCholeskyPerm(a, perm)
+	return NewSkylineSymbolic(a).Refactor(a, nil)
 }
 
 // FactorCholeskyNatural factors without reordering (useful for testing and
@@ -37,41 +51,103 @@ func FactorCholeskyNatural(a *CSR) (*SkylineChol, error) {
 	for i := range perm {
 		perm[i] = i
 	}
-	return factorCholeskyPerm(a, perm)
+	return newSkylineSymbolicPerm(a, perm).Refactor(a, nil)
 }
 
-func factorCholeskyPerm(a *CSR, perm []int) (*SkylineChol, error) {
+// NewSkylineSymbolic performs the structural phase of FactorCholesky:
+// RCM ordering plus envelope construction.
+func NewSkylineSymbolic(a *CSR) *SkylineSymbolic {
+	return newSkylineSymbolicPerm(a, RCM(a))
+}
+
+func newSkylineSymbolicPerm(a *CSR, perm []int) *SkylineSymbolic {
+	symbolicBuilt()
 	n := a.N()
-	p := a.Permute(perm)
-
-	// Envelope structure of the lower triangle.
-	first := make([]int, n)
-	for i := 0; i < n; i++ {
-		f := i
-		p.Row(i, func(j int, _ float64) {
-			if j < f {
-				f = j
-			}
-		})
-		first[i] = f
+	s := &SkylineSymbolic{
+		n:     n,
+		perm:  append([]int(nil), perm...),
+		inv:   InvertPerm(perm),
+		first: make([]int, n),
 	}
-	rowPtr := make([]int, n+1)
-	for i := 0; i < n; i++ {
-		rowPtr[i+1] = rowPtr[i] + (i - first[i] + 1)
+	// Envelope of the lower triangle of the permuted matrix, derived
+	// directly from a's entries (no permuted copy is materialized).
+	for i := range s.first {
+		s.first[i] = i
 	}
-	val := make([]float64, rowPtr[n])
-
-	// Scatter the lower triangle of the permuted matrix into the envelope.
 	for i := 0; i < n; i++ {
-		base := rowPtr[i] - first[i]
-		p.Row(i, func(j int, v float64) {
-			if j <= i {
-				val[base+j] = v
+		pi := perm[i]
+		a.Row(i, func(j int, _ float64) {
+			if pj := perm[j]; pj < s.first[pi] {
+				s.first[pi] = pj
 			}
 		})
 	}
+	s.rowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		s.rowPtr[i+1] = s.rowPtr[i] + (i - s.first[i] + 1)
+	}
+	// Scatter map: CSR entry -> envelope slot of the permuted lower
+	// triangle (entries are unique, so scattering is pure assignment).
+	s.scatter = make([]int32, a.NNZ())
+	k := 0
+	for i := 0; i < n; i++ {
+		pi := perm[i]
+		a.Row(i, func(j int, _ float64) {
+			pj := perm[j]
+			if pj <= pi {
+				s.scatter[k] = int32(s.rowPtr[pi] - s.first[pi] + pj)
+			} else {
+				s.scatter[k] = -1
+			}
+			k++
+		})
+	}
+	return s
+}
 
-	// In-place envelope Cholesky.
+// N returns the system dimension.
+func (s *SkylineSymbolic) N() int { return s.n }
+
+// Refactor computes the numeric factorization of a, which must share the
+// sparsity structure the symbolic phase was built from. When f is non-nil
+// its envelope storage is reused (no allocation); otherwise a new
+// SkylineChol is returned. The result is bit-identical to FactorCholesky
+// on the same values.
+func (s *SkylineSymbolic) Refactor(a *CSR, f *SkylineChol) (*SkylineChol, error) {
+	t0 := refactorStart()
+	defer refactorEnd(t0)
+	if a.NNZ() != len(s.scatter) || a.N() != s.n {
+		return nil, fmt.Errorf("sparse: Refactor: matrix structure does not match symbolic phase")
+	}
+	if f == nil {
+		f = &SkylineChol{
+			n:      s.n,
+			perm:   s.perm,
+			inv:    s.inv,
+			first:  s.first,
+			rowPtr: s.rowPtr,
+			val:    make([]float64, s.rowPtr[s.n]),
+		}
+	} else {
+		for i := range f.val {
+			f.val[i] = 0
+		}
+	}
+	val := f.val
+	for k, v := range a.val {
+		if e := s.scatter[k]; e >= 0 {
+			val[e] = v
+		}
+	}
+	if err := skylineFactorize(s.n, s.first, s.rowPtr, val); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// skylineFactorize runs the in-place envelope Cholesky on a scattered
+// lower triangle.
+func skylineFactorize(n int, first, rowPtr []int, val []float64) error {
 	for i := 0; i < n; i++ {
 		baseI := rowPtr[i] - first[i]
 		for j := first[i]; j < i; j++ {
@@ -91,19 +167,11 @@ func factorCholeskyPerm(a *CSR, perm []int) (*SkylineChol, error) {
 			d -= val[baseI+k] * val[baseI+k]
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("%w (pivot %d, value %g)", ErrNotPositiveDefinite, i, d)
+			return fmt.Errorf("%w (pivot %d, value %g)", ErrNotPositiveDefinite, i, d)
 		}
 		val[baseI+i] = math.Sqrt(d)
 	}
-
-	return &SkylineChol{
-		n:      n,
-		perm:   append([]int(nil), perm...),
-		inv:    InvertPerm(perm),
-		first:  first,
-		rowPtr: rowPtr,
-		val:    val,
-	}, nil
+	return nil
 }
 
 // N returns the system dimension.
@@ -111,7 +179,14 @@ func (f *SkylineChol) N() int { return f.n }
 
 // Solve returns x with A*x = b. b is not modified.
 func (f *SkylineChol) Solve(b []float64) []float64 {
-	if len(b) != f.n {
+	x := make([]float64, f.n)
+	f.SolveTo(x, b)
+	return x
+}
+
+// SolveTo is like Solve but writes into dst (len n) and reuses it.
+func (f *SkylineChol) SolveTo(dst, b []float64) {
+	if len(b) != f.n || len(dst) != f.n {
 		panic("sparse: Solve dimension mismatch")
 	}
 	// Permute RHS into factor ordering.
@@ -137,15 +212,7 @@ func (f *SkylineChol) Solve(b []float64) []float64 {
 	}
 
 	// Permute solution back to original ordering.
-	x := make([]float64, f.n)
 	for nw, old := range f.inv {
-		x[old] = y[nw]
+		dst[old] = y[nw]
 	}
-	return x
-}
-
-// SolveTo is like Solve but writes into dst (len n) and reuses it.
-func (f *SkylineChol) SolveTo(dst, b []float64) {
-	x := f.Solve(b)
-	copy(dst, x)
 }

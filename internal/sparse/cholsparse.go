@@ -32,9 +32,38 @@ type SparseChol struct {
 	colVal [][]float64 // matching values
 }
 
+// SparseCholSymbolic is the structure-only half of FactorSparse: the
+// fill-reducing permutation, the permuted lower-triangle structure with a
+// value map from the original matrix, the elimination tree, and the
+// per-row factor patterns (including fill). It is computed once per
+// sparsity structure; Refactor then numerically factors any matrix with
+// that structure, skipping ordering, permutation and symbolic analysis.
+type SparseCholSymbolic struct {
+	n    int
+	perm []int
+	inv  []int
+
+	low    *CSR    // permuted lower triangle (values are scratch)
+	lowMap []int32 // original CSR entry -> low val index, or -1
+
+	patPtr []int32 // row i's factor pattern is pattern[patPtr[i]:patPtr[i+1]]
+	patRow []int32 // concatenated patterns, topological order per row
+	colRow [][]int32
+}
+
 // FactorSparse computes the sparse Cholesky factorization of the SPD
 // matrix a under the given ordering.
 func FactorSparse(a *CSR, ord Ordering) (*SparseChol, error) {
+	sym, err := NewSparseCholSymbolic(a, ord)
+	if err != nil {
+		return nil, err
+	}
+	return sym.Refactor(a, nil)
+}
+
+// NewSparseCholSymbolic performs the symbolic phase of FactorSparse.
+func NewSparseCholSymbolic(a *CSR, ord Ordering) (*SparseCholSymbolic, error) {
+	symbolicBuilt()
 	n := a.N()
 	var perm []int
 	switch ord {
@@ -50,28 +79,132 @@ func FactorSparse(a *CSR, ord Ordering) (*SparseChol, error) {
 	default:
 		return nil, fmt.Errorf("sparse: unknown ordering %d", ord)
 	}
-	p := a.Permute(perm)
-	low := p.Lower()
-	parent := EliminationTree(low)
+	s := &SparseCholSymbolic{n: n, perm: perm, inv: InvertPerm(perm)}
 
-	f := &SparseChol{
-		n:      n,
-		perm:   perm,
-		inv:    InvertPerm(perm),
-		diag:   make([]float64, n),
-		colRow: make([][]int32, n),
-		colVal: make([][]float64, n),
+	// Permuted lower-triangle structure, plus the map placing original
+	// values into it (entries are unique, so placement is assignment).
+	lb := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		pi := perm[i]
+		a.Row(i, func(j int, _ float64) {
+			if pj := perm[j]; pj <= pi {
+				lb.Add(pi, pj, 1)
+			}
+		})
+	}
+	s.low = lb.ToCSR()
+	s.lowMap = make([]int32, a.NNZ())
+	k := 0
+	for i := 0; i < n; i++ {
+		pi := perm[i]
+		a.Row(i, func(j int, _ float64) {
+			pj := perm[j]
+			if pj <= pi {
+				s.lowMap[k] = int32(s.low.entryIndex(pi, pj))
+			} else {
+				s.lowMap[k] = -1
+			}
+			k++
+		})
 	}
 
-	x := make([]float64, n)
+	// Elimination tree and per-row factor patterns (with fill), stored in
+	// the exact topological order the numeric phase consumes them in.
+	parent := EliminationTree(s.low)
 	mark := make([]int, n)
 	stack := make([]int, n)
 	for i := range mark {
 		mark[i] = -1
 	}
-
+	s.patPtr = make([]int32, n+1)
+	counts := make([]int32, n)
 	for i := 0; i < n; i++ {
-		// Load row i of A (lower part) into the scratch vector.
+		pattern := etreeReach(s.low, i, parent, mark, stack)
+		s.patPtr[i+1] = s.patPtr[i] + int32(len(pattern))
+		s.patRow = append(s.patRow, make([]int32, len(pattern))...)
+		copy32(s.patRow[s.patPtr[i]:s.patPtr[i+1]], pattern)
+		for _, j := range pattern {
+			counts[j]++
+		}
+	}
+	// Factor column structure: column j holds every row i whose pattern
+	// contains j, in ascending row order (the order the numeric phase
+	// emits them).
+	s.colRow = make([][]int32, n)
+	for j := 0; j < n; j++ {
+		s.colRow[j] = make([]int32, 0, counts[j])
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range s.patRow[s.patPtr[i]:s.patPtr[i+1]] {
+			s.colRow[j] = append(s.colRow[j], int32(i))
+		}
+	}
+	return s, nil
+}
+
+func copy32(dst []int32, src []int) {
+	for i, v := range src {
+		dst[i] = int32(v)
+	}
+}
+
+// entryIndex returns the val index of entry (i, j), or -1 if not stored.
+func (m *CSR) entryIndex(i, j int) int {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(m.col[mid]) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < m.rowPtr[i+1] && int(m.col[lo]) == j {
+		return lo
+	}
+	return -1
+}
+
+// N returns the system dimension.
+func (s *SparseCholSymbolic) N() int { return s.n }
+
+// Refactor numerically factors a, which must share the sparsity structure
+// of the symbolic phase. When f is non-nil its column storage is reused;
+// otherwise a new SparseChol is allocated. The result is bit-identical to
+// FactorSparse on the same values.
+func (s *SparseCholSymbolic) Refactor(a *CSR, f *SparseChol) (*SparseChol, error) {
+	t0 := refactorStart()
+	defer refactorEnd(t0)
+	if a.N() != s.n || a.NNZ() != len(s.lowMap) {
+		return nil, fmt.Errorf("sparse: Refactor: matrix structure does not match symbolic phase")
+	}
+	n := s.n
+	if f == nil {
+		f = &SparseChol{
+			n:      n,
+			perm:   s.perm,
+			inv:    s.inv,
+			diag:   make([]float64, n),
+			colRow: s.colRow,
+			colVal: make([][]float64, n),
+		}
+		for j := 0; j < n; j++ {
+			f.colVal[j] = make([]float64, len(s.colRow[j]))
+		}
+	}
+	// Place the matrix values into the permuted lower triangle.
+	low := s.low
+	for k, m := range s.lowMap {
+		if m >= 0 {
+			low.val[m] = a.val[k]
+		}
+	}
+
+	// Up-looking numeric factorization over the cached patterns; the
+	// arithmetic sequence matches the from-scratch FactorSparse exactly.
+	x := make([]float64, n)
+	cnt := make([]int32, n) // filled prefix of each factor column
+	for i := 0; i < n; i++ {
 		var d float64
 		low.Row(i, func(j int, v float64) {
 			if j == i {
@@ -80,19 +213,18 @@ func FactorSparse(a *CSR, ord Ordering) (*SparseChol, error) {
 				x[j] = v
 			}
 		})
-		// Sparse triangular solve over the row's factor pattern.
-		pattern := etreeReach(low, i, parent, mark, stack)
-		for _, j := range pattern {
+		for _, j32 := range s.patRow[s.patPtr[i]:s.patPtr[i+1]] {
+			j := int(j32)
 			lij := x[j] / f.diag[j]
 			x[j] = 0
-			rows := f.colRow[j]
+			rows := s.colRow[j][:cnt[j]]
 			vals := f.colVal[j]
 			for k := range rows {
 				x[rows[k]] -= vals[k] * lij
 			}
 			d -= lij * lij
-			f.colRow[j] = append(f.colRow[j], int32(i))
-			f.colVal[j] = append(f.colVal[j], lij)
+			f.colVal[j][cnt[j]] = lij
+			cnt[j]++
 		}
 		if d <= 0 || math.IsNaN(d) {
 			return nil, fmt.Errorf("%w (pivot %d, value %g)", ErrNotPositiveDefinite, i, d)

@@ -1,0 +1,25 @@
+package sparse
+
+import (
+	"time"
+
+	"voltstack/internal/telemetry"
+)
+
+// Prepared-solve instrumentation: symbolic analyses should be rare (once
+// per sparsity structure) while numeric refactors are the per-solve cost,
+// so the ratio of the two counters is the structure-cache hit signal.
+var (
+	mSymbolicBuilds  = telemetry.NewCounter("sparse_symbolic_builds_total")
+	mRefactors       = telemetry.NewCounter("sparse_numeric_refactors_total")
+	mRefactorSeconds = telemetry.NewHistogram("sparse_numeric_refactor_seconds")
+)
+
+func symbolicBuilt() { mSymbolicBuilds.Add(1) }
+
+func refactorStart() time.Time { return telemetry.Now() }
+
+func refactorEnd(t0 time.Time) {
+	mRefactors.Add(1)
+	mRefactorSeconds.Since(t0)
+}
