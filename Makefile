@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve fuzz golden profile metrics-demo
+.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve fuzz golden profile metrics-demo provenance-demo
 
 build:
 	$(GO) build ./...
@@ -65,3 +65,11 @@ metrics-demo: build
 		-metrics /tmp/voltstack-metrics.json -trace /tmp/voltstack-trace.json > /dev/null
 	@cat /tmp/voltstack-metrics.json
 	@echo "trace: load /tmp/voltstack-trace.json in https://ui.perfetto.dev or chrome://tracing"
+
+# provenance-demo runs the same scenario twice with -manifest and diffs the
+# two provenance records with vsreport: identical-seed runs must report
+# "all output hashes equal" (vsreport exits 1 on any mismatch).
+provenance-demo: build
+	$(GO) run ./cmd/vsim -grid 16 -manifest /tmp/voltstack-run-a.json > /dev/null
+	$(GO) run ./cmd/vsim -grid 16 -manifest /tmp/voltstack-run-b.json > /dev/null
+	$(GO) run ./cmd/vsreport /tmp/voltstack-run-a.json /tmp/voltstack-run-b.json

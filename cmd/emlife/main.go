@@ -4,7 +4,8 @@
 // Usage:
 //
 //	emlife [-layers N] [-tsv dense|sparse|few] [-padfrac F] [-grid N] [-workers N]
-//	       [-mc-trials N] [-metrics PATH] [-trace PATH] [-pprof ADDR] [-cpuprofile PATH] [-progress]
+//	       [-mc-trials N] [-metrics PATH] [-trace PATH] [-events PATH] [-serve ADDR]
+//	       [-pprof ADDR] [-cpuprofile PATH] [-manifest PATH] [-postmortem DIR] [-progress]
 //
 // The regular and voltage-stacked scenarios are solved concurrently.
 // -mc-trials additionally cross-checks each analytic lifetime with the
@@ -41,6 +42,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "emlife:", err)
 		os.Exit(1)
 	}
+	// fail routes error exits through flush: os.Exit skips deferred calls,
+	// and flush is what restores stdout, stops the servers and writes the
+	// manifest with the failure recorded.
+	fail := func(code int, err error) {
+		tf.RunManifest().SetExitError(err)
+		flush()
+		fmt.Fprintln(os.Stderr, "emlife:", err)
+		os.Exit(code)
+	}
 
 	var tsv pdngrid.TSVTopology
 	switch strings.ToLower(*tsvName) {
@@ -51,13 +61,13 @@ func main() {
 	case "few":
 		tsv = pdngrid.FewTSV()
 	default:
-		fmt.Fprintf(os.Stderr, "emlife: unknown TSV topology %q\n", *tsvName)
-		os.Exit(2)
+		fail(2, fmt.Errorf("unknown TSV topology %q", *tsvName))
 	}
 
 	s := core.NewStudy()
 	s.Params.GridNx, s.Params.GridNy = *grid, *grid
 	s.Workers = *workers
+	tf.RunManifest().AddSeed("study", s.Seed)
 
 	type point struct {
 		name  string
@@ -110,9 +120,7 @@ func main() {
 		return res{tl, cl, tmc, cmc}, nil
 	})
 	if err != nil {
-		flush()
-		fmt.Fprintln(os.Stderr, "emlife:", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	for i, pt := range points {
 		fmt.Printf("  %-16s TSV-array lifetime %.3g, C4-array lifetime %.3g (arbitrary units)\n",

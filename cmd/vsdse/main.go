@@ -6,7 +6,8 @@
 // Usage:
 //
 //	vsdse [-layers N] [-imbalance F] [-grid N] [-all]
-//	      [-metrics PATH] [-trace PATH] [-pprof ADDR] [-cpuprofile PATH] [-progress]
+//	      [-metrics PATH] [-trace PATH] [-events PATH] [-serve ADDR] [-pprof ADDR]
+//	      [-cpuprofile PATH] [-manifest PATH] [-postmortem DIR] [-progress]
 package main
 
 import (
@@ -33,6 +34,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vsdse:", err)
 		os.Exit(1)
 	}
+	// fail routes error exits through flush: os.Exit skips deferred calls,
+	// and flush is what restores stdout, stops the servers and writes the
+	// manifest with the failure recorded.
+	fail := func(code int, err error) {
+		tf.RunManifest().SetExitError(err)
+		flush()
+		fmt.Fprintln(os.Stderr, "vsdse:", err)
+		os.Exit(code)
+	}
 
 	space := explore.DefaultSpace()
 	space.Layers = *layers
@@ -43,9 +53,7 @@ func main() {
 	start := time.Now()
 	res, err := space.Run()
 	if err != nil {
-		flush()
-		fmt.Fprintln(os.Stderr, "vsdse:", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 
 	fmt.Printf("design space: %d layers, %.0f%% imbalance, %d designs evaluated (%d infeasible dropped)\n",

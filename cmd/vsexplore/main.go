@@ -4,7 +4,8 @@
 // Usage:
 //
 //	vsexplore [-exp all|table1|table2|fig3a|fig3b|fig5a|fig5b|fig6|fig7|fig8|thermal|headlines] [-coarse] [-workers N]
-//	          [-metrics PATH] [-trace PATH] [-pprof ADDR] [-cpuprofile PATH] [-progress]
+//	          [-metrics PATH] [-trace PATH] [-events PATH] [-serve ADDR] [-pprof ADDR]
+//	          [-cpuprofile PATH] [-manifest PATH] [-postmortem DIR] [-progress]
 //
 // -coarse runs the PDN experiments on a 16x16 mesh (seconds instead of
 // tens of seconds); headline numbers are stable across both resolutions.
@@ -43,12 +44,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vsexplore:", err)
 		os.Exit(1)
 	}
+	// fail routes error exits through flush: os.Exit skips deferred calls,
+	// and flush is what restores stdout, stops the servers and writes the
+	// manifest with the failure recorded.
+	fail := func(code int, err error) {
+		tf.RunManifest().SetExitError(err)
+		flush()
+		fmt.Fprintln(os.Stderr, "vsexplore:", err)
+		os.Exit(code)
+	}
 
 	s := core.NewStudy()
 	if *coarse {
 		s.Coarse()
 	}
 	s.Workers = *workers
+	tf.RunManifest().AddSeed("study", s.Seed)
 
 	csvRunners := map[string]func() (string, error){
 		"fig3a": func() (string, error) {
@@ -248,14 +259,12 @@ func main() {
 				continue
 			}
 			if _, ok := runners[name]; !ok {
-				fmt.Fprintf(os.Stderr, "vsexplore: unknown experiment %q (have: all %s)\n", name, strings.Join(order, " "))
-				os.Exit(2)
+				fail(2, fmt.Errorf("unknown experiment %q (have: all %s)", name, strings.Join(order, " ")))
 			}
 			selected = append(selected, name)
 		}
 		if len(selected) == 0 {
-			fmt.Fprintln(os.Stderr, "vsexplore: -exp selected no experiments")
-			os.Exit(2)
+			fail(2, fmt.Errorf("-exp selected no experiments"))
 		}
 	}
 
@@ -263,8 +272,7 @@ func main() {
 	if *csvOut {
 		for _, name := range selected {
 			if _, ok := csvRunners[name]; !ok {
-				fmt.Fprintf(os.Stderr, "vsexplore: no CSV form for %q\n", name)
-				os.Exit(2)
+				fail(2, fmt.Errorf("no CSV form for %q", name))
 			}
 		}
 	}
@@ -287,9 +295,7 @@ func main() {
 		return out, nil
 	})
 	if err != nil {
-		flush()
-		fmt.Fprintf(os.Stderr, "vsexplore: %v\n", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 	prog.Finish()
 	for _, out := range outputs {

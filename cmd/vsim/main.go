@@ -5,7 +5,8 @@
 //
 //	vsim [-kind regular|vs] [-layers N] [-tsv dense|sparse|few]
 //	     [-conv N] [-padfrac F] [-imbalance F] [-grid N]
-//	     [-metrics PATH] [-trace PATH] [-pprof ADDR] [-cpuprofile PATH]
+//	     [-metrics PATH] [-trace PATH] [-events PATH] [-serve ADDR] [-pprof ADDR]
+//	     [-cpuprofile PATH] [-manifest PATH] [-postmortem DIR]
 package main
 
 import (
@@ -46,6 +47,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vsim: telemetry:", err)
 		}
 	}()
+	// fail routes error exits through flush: os.Exit skips deferred calls,
+	// and flush is what restores stdout, stops the servers and writes the
+	// manifest with the failure recorded.
+	fail := func(code int, err error) {
+		tf.RunManifest().SetExitError(err)
+		flush()
+		fmt.Fprintln(os.Stderr, "vsim:", err)
+		os.Exit(code)
+	}
 
 	var tsv pdngrid.TSVTopology
 	switch strings.ToLower(*tsvName) {
@@ -56,8 +66,7 @@ func main() {
 	case "few":
 		tsv = pdngrid.FewTSV()
 	default:
-		fmt.Fprintf(os.Stderr, "vsim: unknown TSV topology %q\n", *tsvName)
-		os.Exit(2)
+		fail(2, fmt.Errorf("unknown TSV topology %q", *tsvName))
 	}
 
 	params := pdngrid.DefaultParams()
@@ -81,14 +90,12 @@ func main() {
 	case "vs", "voltage-stacked":
 		cfg.Kind = pdngrid.VoltageStacked
 	default:
-		fmt.Fprintf(os.Stderr, "vsim: unknown kind %q\n", *kind)
-		os.Exit(2)
+		fail(2, fmt.Errorf("unknown kind %q", *kind))
 	}
 
 	p, err := pdngrid.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vsim:", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 
 	cores := cfg.Chip.NumCores()
@@ -100,8 +107,7 @@ func main() {
 	}
 	r, err := p.Solve(acts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vsim:", err)
-		os.Exit(1)
+		fail(1, err)
 	}
 
 	if *jsonOut {
@@ -133,8 +139,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(summary); err != nil {
-			fmt.Fprintln(os.Stderr, "vsim:", err)
-			os.Exit(1)
+			fail(1, err)
 		}
 		return
 	}

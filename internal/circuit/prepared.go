@@ -16,6 +16,7 @@ package circuit
 
 import (
 	"fmt"
+	"log/slog"
 
 	"voltstack/internal/sparse"
 	"voltstack/internal/telemetry"
@@ -246,6 +247,11 @@ func (p *Prepared) Solve(x0 []float64) (*Solution, error) {
 	mPrepSolves.Add(1)
 	if p.structureChanged() {
 		mPrepRecompiles.Add(1)
+		if telemetry.EventsEnabled() {
+			telemetry.Event(slog.LevelInfo, "circuit: prepared engine recompile",
+				slog.String("cause", "structure sentinel"),
+				slog.Int("nodes", p.nNodes))
+		}
 		if err := p.compile(); err != nil {
 			return nil, err
 		}
@@ -266,6 +272,11 @@ func (p *Prepared) Solve(x0 []float64) (*Solution, error) {
 		if w.bad || w.pos != len(p.coo) {
 			// Structure drifted in a way the sentinels missed; rebuild.
 			mPrepRecompiles.Add(1)
+			if telemetry.EventsEnabled() {
+				telemetry.Event(slog.LevelWarn, "circuit: prepared engine recompile",
+					slog.String("cause", "value-stream drift"),
+					slog.Int("nodes", p.nNodes))
+			}
 			if err := p.compile(); err != nil {
 				return nil, err
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"voltstack/internal/floorplan"
@@ -10,6 +11,7 @@ import (
 	"voltstack/internal/pdngrid"
 	"voltstack/internal/sc"
 	"voltstack/internal/spice"
+	"voltstack/internal/telemetry"
 	"voltstack/internal/thermal"
 	"voltstack/internal/units"
 	"voltstack/internal/workload"
@@ -486,6 +488,11 @@ func (s *Study) Thermal() (*ThermalCheck, error) {
 	n, err := thermal.MaxLayersUnder(cfg, cells, 100, 16)
 	if err != nil {
 		return nil, err
+	}
+	if n < s.MaxLayers && telemetry.EventsEnabled() {
+		telemetry.Event(slog.LevelWarn, "core: thermal infeasibility below study depth",
+			slog.Int("max_layers_under_100c", n),
+			slog.Int("study_max_layers", s.MaxLayers))
 	}
 	maps := make([][]float64, 8)
 	for i := range maps {

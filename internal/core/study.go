@@ -34,7 +34,9 @@ var (
 func (s *Study) observe(name string) func() {
 	sp := telemetry.StartSpan("core." + name)
 	t0 := telemetry.Now()
+	telemetry.TaskStart("core." + name)
 	return func() {
+		telemetry.TaskEnd("core." + name)
 		mExperiments.Add(1)
 		mExperimentSeconds.Since(t0)
 		sp.End()

@@ -2,6 +2,7 @@ package em
 
 import (
 	"context"
+	"log/slog"
 	"math"
 	"math/rand"
 	"sort"
@@ -87,10 +88,26 @@ func (g *Group) SimulateMedianLifetimeWorkers(trials int, seed int64, workers in
 	}
 	sort.Float64s(minima)
 	mid := len(minima) / 2
-	if len(minima)%2 == 1 {
-		return minima[mid], nil
+	med := minima[mid]
+	if len(minima)%2 == 0 {
+		med = (minima[mid-1] + minima[mid]) / 2
 	}
-	return (minima[mid-1] + minima[mid]) / 2, nil
+	if telemetry.EventsEnabled() {
+		// Anomaly check: a worst trial more than ~6σ below the median of
+		// minima (or non-physical) means a conductor drew an implausible
+		// lifetime — usually a sign of corrupted currents or parameters
+		// rather than honest sampling noise.
+		worst := minima[0]
+		limit := med / math.Exp(6*g.sigma)
+		if math.IsNaN(worst) || worst <= 0 || worst < limit {
+			telemetry.Event(slog.LevelWarn, "em: anomalous Monte Carlo trial",
+				slog.Float64("worst_minimum", worst),
+				slog.Float64("median", med),
+				slog.Float64("sigma", g.sigma),
+				slog.Int("trials", trials))
+		}
+	}
+	return med, nil
 }
 
 // splitmix is a SplitMix64 generator (Steele et al., "Fast splittable

@@ -25,6 +25,7 @@ var (
 	mEngineBuilds  = telemetry.NewCounter("pdngrid_engine_builds_total")
 	mEngineReuses  = telemetry.NewCounter("pdngrid_engine_reuses_total")
 	mWarmIterSaved = telemetry.NewCounter("pdngrid_warmstart_iterations_saved_total")
+	mOuterStalls   = telemetry.NewCounter("pdngrid_outer_stalls_total")
 )
 
 // Result holds the solved state of one PDN scenario.
@@ -136,7 +137,7 @@ func (p *PDN) Solve(activities [][]float64) (*Result, error) {
 	for l := range activities {
 		pm, err := cfg.Chip.PowerMap(activities[l])
 		if err != nil {
-			return nil, fmt.Errorf("pdngrid: layer %d: %v", l, err)
+			return nil, fmt.Errorf("pdngrid: layer %d: %w", l, err)
 		}
 		cells, err := p.raster.Distribute(p.fp.Blocks, pm)
 		if err != nil {
@@ -178,9 +179,11 @@ func (p *PDN) solveFresh(loads [][]float64, freqs []float64, ctrl sc.Control, ma
 	var prevJ []float64
 	totalIters := 0
 	outerDone := 0
+	didConverge := maxOuter == 1
+	lastDelta := 0.0
 	for outer := 0; outer < maxOuter; outer++ {
 		var err error
-		res, err = p.solveOnce(loads, freqs)
+		res, err = p.solveOnce(loads, freqs, outer)
 		if err != nil {
 			return nil, err
 		}
@@ -191,18 +194,27 @@ func (p *PDN) solveFresh(loads [][]float64, freqs []float64, ctrl sc.Control, ma
 		}
 		// Update per-converter frequencies from the solved currents.
 		converged := prevJ != nil
+		lastDelta = 0
 		for i, j := range res.ConverterCurrents {
 			freqs[i] = ctrl.Freq(cfg.Converter, j)
 			if prevJ != nil {
-				if math.Abs(j-prevJ[i]) > 1e-4*(math.Abs(j)+1e-6) {
+				d := math.Abs(j - prevJ[i])
+				if rel := d / (math.Abs(j) + 1e-6); rel > lastDelta {
+					lastDelta = rel
+				}
+				if d > 1e-4*(math.Abs(j)+1e-6) {
 					converged = false
 				}
 			}
 		}
 		if converged {
+			didConverge = true
 			break
 		}
 		prevJ = append(prevJ[:0], res.ConverterCurrents...)
+	}
+	if !didConverge {
+		outerStall(outerDone, lastDelta)
 	}
 	res.OuterIterations = outerDone
 	res.TotalSolverIterations = totalIters
@@ -259,7 +271,7 @@ func (p *PDN) solvePrepared(loads [][]float64, freqs []float64, ctrl sc.Control,
 		mAssembleSeconds.Since(tA)
 		spA.End()
 		if err != nil {
-			return nil, fmt.Errorf("pdngrid: %v", err)
+			return nil, fmt.Errorf("pdngrid: %w", err)
 		}
 		eng = &engine{asm: asm, prep: prep}
 		mEngineBuilds.Add(1)
@@ -278,9 +290,13 @@ func (p *PDN) solvePrepared(loads [][]float64, freqs []float64, ctrl sc.Control,
 	warm := !cfg.NoWarmStart
 	var res *Result
 	var prevJ, x0 []float64
+	var outerDeltas []float64 // per-pass max relative converter-current change (recorder on)
+	recording := telemetry.FlightRecorderEnabled()
 	totalIters := 0
 	outerDone := 0
 	firstIters := 0
+	didConverge := maxOuter == 1
+	lastDelta := 0.0
 	for outer := 0; outer < maxOuter; outer++ {
 		if outer > 0 {
 			eng.applyConverters(cfg, freqs)
@@ -291,7 +307,7 @@ func (p *PDN) solvePrepared(loads [][]float64, freqs []float64, ctrl sc.Control,
 		mSolveSeconds.Since(tS)
 		spS.End()
 		if err != nil {
-			return nil, fmt.Errorf("pdngrid: %v", err)
+			return nil, solveFailure(outer, eng.asm.net.NumNodes(), x0 != nil, outerDeltas, err)
 		}
 		mSolves.Add(1)
 		mNodesHist.Observe(float64(eng.asm.net.NumNodes()))
@@ -311,21 +327,33 @@ func (p *PDN) solvePrepared(loads [][]float64, freqs []float64, ctrl sc.Control,
 		}
 		// Update per-converter frequencies from the solved currents.
 		converged := prevJ != nil
+		lastDelta = 0
 		for i, j := range res.ConverterCurrents {
 			freqs[i] = ctrl.Freq(cfg.Converter, j)
 			if prevJ != nil {
-				if math.Abs(j-prevJ[i]) > 1e-4*(math.Abs(j)+1e-6) {
+				d := math.Abs(j - prevJ[i])
+				if rel := d / (math.Abs(j) + 1e-6); rel > lastDelta {
+					lastDelta = rel
+				}
+				if d > 1e-4*(math.Abs(j)+1e-6) {
 					converged = false
 				}
 			}
 		}
+		if recording && prevJ != nil {
+			outerDeltas = append(outerDeltas, lastDelta)
+		}
 		if converged {
+			didConverge = true
 			break
 		}
 		prevJ = append(prevJ[:0], res.ConverterCurrents...)
 		if warm {
 			x0 = sol.Voltages()
 		}
+	}
+	if !didConverge {
+		outerStall(outerDone, lastDelta)
 	}
 	res.OuterIterations = outerDone
 	res.TotalSolverIterations = totalIters
@@ -533,7 +561,7 @@ func (p *PDN) assemble(loads [][]float64, freqs []float64, dyn *dynSpec) *assemb
 	return a
 }
 
-func (p *PDN) solveOnce(loads [][]float64, freqs []float64) (*Result, error) {
+func (p *PDN) solveOnce(loads [][]float64, freqs []float64, outer int) (*Result, error) {
 	cfg := p.Cfg
 
 	sp := telemetry.StartSpan("pdngrid.solve")
@@ -551,7 +579,7 @@ func (p *PDN) solveOnce(loads [][]float64, freqs []float64) (*Result, error) {
 	mSolveSeconds.Since(tS)
 	spS.End()
 	if err != nil {
-		return nil, fmt.Errorf("pdngrid: %v", err)
+		return nil, solveFailure(outer, asm.net.NumNodes(), false, nil, err)
 	}
 	mSolves.Add(1)
 	mNodesHist.Observe(float64(asm.net.NumNodes()))

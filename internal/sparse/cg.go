@@ -3,6 +3,7 @@ package sparse
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"voltstack/internal/telemetry"
@@ -20,6 +21,7 @@ var (
 	mPCGLastResidual = telemetry.NewGauge("sparse_pcg_last_residual")
 	mPrecondBuilds   = telemetry.NewCounter("sparse_precond_builds_total")
 	mPrecondSeconds  = telemetry.NewHistogram("sparse_precond_build_seconds")
+	mIC0Shifts       = telemetry.NewCounter("sparse_ic0_shift_attempts_total")
 )
 
 // ErrNoConvergence is returned when an iterative solver fails to reach the
@@ -189,21 +191,42 @@ func (s *IC0Symbolic) Factor(a *CSR, p *IC0Prec) (*IC0Prec, error) {
 			tmp:   make([]float64, s.n),
 		}
 	}
+	attempts := 0
+	var lastErr error
 	for shift := 0.0; shift <= 1.0; {
 		err := s.factorShift(a, p, shift)
 		if err == nil {
+			if shift > 0 {
+				mIC0Shifts.Add(int64(attempts))
+				if telemetry.EventsEnabled() {
+					telemetry.Event(slog.LevelWarn, "sparse: IC(0) diagonal shift applied",
+						slog.Float64("shift", shift),
+						slog.Int("attempts", attempts),
+						slog.Int("n", s.n),
+						slog.String("breakdown", lastErr.Error()))
+				}
+			}
 			return p, nil
 		}
 		if !errors.Is(err, ErrNotPositiveDefinite) {
 			return nil, err
 		}
+		attempts++
+		lastErr = err
 		if shift == 0 {
 			shift = 1e-3
 		} else {
 			shift *= 4
 		}
 	}
-	return nil, fmt.Errorf("sparse: IC(0) breakdown persists under diagonal shifting: %w", ErrNotPositiveDefinite)
+	mIC0Shifts.Add(int64(attempts))
+	if telemetry.EventsEnabled() {
+		telemetry.Event(slog.LevelError, "sparse: IC(0) breakdown persists under diagonal shifting",
+			slog.Int("attempts", attempts),
+			slog.Int("n", s.n),
+			slog.String("breakdown", lastErr.Error()))
+	}
+	return nil, fmt.Errorf("sparse: IC(0) breakdown persists after %d diagonal shifts: %w", attempts, lastErr)
 }
 
 // factorShift is one factorization attempt at a given diagonal shift,
@@ -216,7 +239,7 @@ func (sym *IC0Symbolic) factorShift(a *CSR, p *IC0Prec, shift float64) error {
 	scale := p.scale
 	for i, d := range a.Diag() {
 		if d <= 0 {
-			return fmt.Errorf("sparse: IC(0): non-positive diagonal at row %d: %w", i, ErrNotPositiveDefinite)
+			return fmt.Errorf("sparse: IC(0): non-positive diagonal at row %d (value %g): %w", i, d, ErrNotPositiveDefinite)
 		}
 		scale[i] = 1 / math.Sqrt(d)
 	}
@@ -268,7 +291,7 @@ func (sym *IC0Symbolic) factorShift(a *CSR, p *IC0Prec, shift float64) error {
 			}
 			ljj := l.val[diagIdx[j]]
 			if ljj == 0 {
-				return ErrNotPositiveDefinite
+				return fmt.Errorf("sparse: IC(0): zero pivot at row %d (shift %g): %w", j, shift, ErrNotPositiveDefinite)
 			}
 			l.val[k] = s / ljj
 		}
@@ -280,7 +303,7 @@ func (sym *IC0Symbolic) factorShift(a *CSR, p *IC0Prec, shift float64) error {
 		// below 1 signals (near-)breakdown; treat it as such rather than
 		// producing a disastrously conditioned factor.
 		if d <= 1e-4 || math.IsNaN(d) {
-			return ErrNotPositiveDefinite
+			return fmt.Errorf("sparse: IC(0): pivot breakdown at row %d (scaled diagonal %g, shift %g): %w", i, d, shift, ErrNotPositiveDefinite)
 		}
 		l.val[di] = math.Sqrt(d)
 	}
@@ -377,6 +400,19 @@ func PCGW(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int
 	if errors.Is(err, ErrNoConvergence) {
 		mPCGNoConverge.Add(1)
 	}
+	if err != nil && telemetry.EventsEnabled() {
+		msg := "sparse: PCG breakdown"
+		if errors.Is(err, ErrNoConvergence) {
+			msg = "sparse: PCG did not converge"
+		}
+		telemetry.Event(slog.LevelError, msg,
+			slog.Int("n", a.N()),
+			slog.Int("nnz", a.NNZ()),
+			slog.Int("iterations", res.Iterations),
+			slog.Float64("residual", res.Residual),
+			slog.Float64("tol", tol),
+			slog.Int("max_iter", maxIter))
+	}
 	return x, res, err
 }
 
@@ -392,6 +428,12 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 		ws = NewPCGWorkspace(n)
 	} else {
 		ws.resize(n)
+	}
+	// Flight recorder: one gate check per solve; per-iteration cost is a
+	// nil check when off.
+	var rec *traceRecorder
+	if flightRecorderOn() {
+		rec = newTraceRecorder("pcg", a, x0, prec, tol, maxIter)
 	}
 	// x is allocated per solve: it is returned to (and kept by) the caller.
 	x := make([]float64, n)
@@ -412,6 +454,9 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 	rz := Dot(r, z)
 
 	res := Norm2(r) / normB
+	if rec != nil {
+		rec.record(res)
+	}
 	if res <= tol {
 		return x, CGResult{0, res}, nil
 	}
@@ -425,7 +470,13 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 			a.MulVec(x, ap)
 			Sub(b, ap, ap)
 			res = Norm2(ap) / normB
-			return x, CGResult{it, res}, fmt.Errorf("sparse: PCG: matrix not SPD (pᵀAp=%g at iter %d)", pap, it)
+			err := fmt.Errorf("sparse: PCG: matrix not SPD (pᵀAp=%g at iter %d)", pap, it)
+			if rec != nil {
+				rec.record(res)
+				rec.trace.BreakdownIter = it
+				err = rec.finish(CGResult{it, res}, err)
+			}
+			return x, CGResult{it, res}, err
 		}
 		alpha := rz / pap
 		// Fused iterate/residual update and residual norm: one pass over
@@ -440,6 +491,9 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 			rr += ri * ri
 		}
 		res = math.Sqrt(rr) / normB
+		if rec != nil {
+			rec.record(res)
+		}
 		if res <= tol {
 			return x, CGResult{it, res}, nil
 		}
@@ -451,7 +505,11 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return x, CGResult{maxIter, res}, fmt.Errorf("%w: residual %.3e after %d iterations", ErrNoConvergence, res, maxIter)
+	err := fmt.Errorf("%w: residual %.3e after %d iterations", ErrNoConvergence, res, maxIter)
+	if rec != nil {
+		err = rec.finish(CGResult{maxIter, res}, err)
+	}
+	return x, CGResult{maxIter, res}, err
 }
 
 // CG is PCG without preconditioning.

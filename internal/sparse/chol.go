@@ -167,7 +167,7 @@ func skylineFactorize(n int, first, rowPtr []int, val []float64) error {
 			d -= val[baseI+k] * val[baseI+k]
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return fmt.Errorf("%w (pivot %d, value %g)", ErrNotPositiveDefinite, i, d)
+			return fmt.Errorf("sparse: skyline Cholesky: %w at row %d of %d (diagonal after elimination %g)", ErrNotPositiveDefinite, i, n, d)
 		}
 		val[baseI+i] = math.Sqrt(d)
 	}

@@ -227,7 +227,7 @@ func (s *SparseCholSymbolic) Refactor(a *CSR, f *SparseChol) (*SparseChol, error
 			cnt[j]++
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("%w (pivot %d, value %g)", ErrNotPositiveDefinite, i, d)
+			return nil, fmt.Errorf("sparse: sparse Cholesky: %w at row %d of %d (diagonal after elimination %g)", ErrNotPositiveDefinite, i, n, d)
 		}
 		f.diag[i] = math.Sqrt(d)
 	}

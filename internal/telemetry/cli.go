@@ -1,26 +1,34 @@
 package telemetry
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net"
+	"log/slog"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime/pprof"
+	"sync"
 )
 
 // Flags is the shared observability flag set of the cmd/ binaries. Every
-// binary registers the same five flags so a user can attach metrics,
-// tracing, profiling and progress reporting to any entry point the same
-// way.
+// binary registers the same flags so a user can attach metrics, tracing,
+// structured event logging, profiling, provenance recording and live
+// introspection to any entry point the same way.
 type Flags struct {
 	Metrics    string // -metrics:    JSON dump path (+ ".prom" Prometheus dump) on exit
 	Trace      string // -trace:      Chrome trace_event JSON path on exit
-	Pprof      string // -pprof:      net/http/pprof listen address (e.g. localhost:6060)
+	Events     string // -events:     structured JSON-lines event log ("stderr" or a path)
+	Pprof      string // -pprof:      observability listen address (pprof + /metrics /healthz /statusz)
+	Serve      string // -serve:      same server; also enables live metrics collection
 	CPUProfile string // -cpuprofile: pprof CPU profile path, captured for the whole run
+	Manifest   string // -manifest:   run provenance manifest JSON path on exit
+	Postmortem string // -postmortem: directory for solver post-mortem artifacts (enables the flight recorder)
 	Progress   bool   // -progress:   periodic stderr progress lines for long runs
+
+	manifest *Manifest
+	servers  []*Server
 }
 
 // RegisterFlags registers the observability flags on the default flag set.
@@ -29,19 +37,44 @@ func RegisterFlags() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.Metrics, "metrics", "", "write a metrics dump on exit: JSON at this path, Prometheus text at path+\".prom\"")
 	flag.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event JSON timing trace on exit (load in chrome://tracing or Perfetto)")
-	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&f.Events, "events", "", "write a structured JSON-lines event log to this path (\"stderr\" or \"-\" for stderr)")
+	flag.StringVar(&f.Pprof, "pprof", "", "serve the observability endpoint (pprof, /metrics, /healthz, /statusz) on this address (e.g. localhost:6060)")
+	flag.StringVar(&f.Serve, "serve", "", "serve the live observability endpoint on this address and collect metrics for mid-run scraping")
 	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile of the whole run to this file")
+	flag.StringVar(&f.Manifest, "manifest", "", "write a run provenance manifest (flags, seeds, VCS stamp, output hashes) to this path on exit")
+	flag.StringVar(&f.Postmortem, "postmortem", "", "write solver post-mortem JSON artifacts into this directory on failures (enables the numerical flight recorder)")
 	flag.BoolVar(&f.Progress, "progress", true, "print periodic stderr progress lines for long sweeps and Monte Carlo runs")
 	return f
 }
 
-// Init applies the parsed flags: enables the metric registry, tracer and
-// progress reporter as requested, starts the pprof server and the CPU
-// profile. It returns a flush function that must run before the process
-// exits to stop profiling and write the metrics/trace dumps; flush is
-// never nil and is safe to call when nothing was enabled.
+// RunManifest returns the provenance manifest of the current run, or nil
+// when -manifest is off. Binaries use it to attach seeds and extra outputs;
+// all Manifest methods are nil-safe, so no call site needs a conditional.
+func (f *Flags) RunManifest() *Manifest { return f.manifest }
+
+// ServeAddr returns the bound address of the first observability server
+// (useful when -serve was given ":0"), or "" when none is running.
+func (f *Flags) ServeAddr() string {
+	if len(f.servers) == 0 {
+		return ""
+	}
+	return f.servers[0].Addr()
+}
+
+// Init applies the parsed flags: enables the metric registry, tracer,
+// event log, progress reporter and flight recorder as requested, starts
+// the observability server(s), the CPU profile and the provenance
+// manifest. It returns a flush function that must run before the process
+// exits to stop profiling, shut the servers down and write every dump;
+// flush is never nil, idempotent (the second call is a no-op returning
+// nil), and safe to call when nothing was enabled.
+//
+// On error, everything partially started is torn down before returning,
+// so a failed Init leaks no listener, goroutine or profile.
 func (f *Flags) Init() (flush func() error, err error) {
-	if f.Metrics != "" {
+	if f.Metrics != "" || f.Serve != "" || f.Manifest != "" {
+		// -serve needs live counters to scrape; a manifest embeds the final
+		// snapshot.
 		Enable()
 	}
 	if f.Trace != "" {
@@ -50,48 +83,145 @@ func (f *Flags) Init() (flush func() error, err error) {
 	if f.Progress {
 		EnableProgress(0)
 	}
+	if f.Postmortem != "" {
+		SetPostmortemDir(f.Postmortem)
+	}
+
+	var eventFile *os.File
+	if f.Events != "" {
+		var w io.Writer = os.Stderr
+		if f.Events != "stderr" && f.Events != "-" {
+			eventFile, err = os.Create(f.Events)
+			if err != nil {
+				return noopFlush, fmt.Errorf("telemetry: events: %w", err)
+			}
+			w = eventFile
+		}
+		EnableEventLog(w, slog.LevelInfo)
+	}
+
+	// Failure unwinding: every started resource pushes an undo.
+	var undo []func()
+	fail := func(err error) (func() error, error) {
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i]()
+		}
+		if eventFile != nil {
+			DisableEventLog()
+			eventFile.Close()
+		}
+		return noopFlush, err
+	}
+
 	var cpuFile *os.File
 	if f.CPUProfile != "" {
 		cpuFile, err = os.Create(f.CPUProfile)
 		if err != nil {
-			return noopFlush, fmt.Errorf("telemetry: cpuprofile: %w", err)
+			return fail(fmt.Errorf("telemetry: cpuprofile: %w", err))
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
-			return noopFlush, fmt.Errorf("telemetry: cpuprofile: %w", err)
+			return fail(fmt.Errorf("telemetry: cpuprofile: %w", err))
 		}
+		undo = append(undo, func() { pprof.StopCPUProfile(); cpuFile.Close() })
 	}
-	if f.Pprof != "" {
-		ln, err := net.Listen("tcp", f.Pprof)
+
+	// One observability server per distinct address; -serve and -pprof on
+	// the same address share a single listener. Handlers live on a private
+	// mux (never http.DefaultServeMux) and the listener is closed by flush,
+	// so repeated Init calls in one process neither panic on duplicate
+	// pprof registration nor leak sockets.
+	addrs := []string{}
+	if f.Serve != "" {
+		addrs = append(addrs, f.Serve)
+	}
+	if f.Pprof != "" && f.Pprof != f.Serve {
+		addrs = append(addrs, f.Pprof)
+	}
+	for _, addr := range addrs {
+		srv, err := StartServer(addr)
 		if err != nil {
-			if cpuFile != nil {
-				pprof.StopCPUProfile()
-				cpuFile.Close()
-			}
-			return noopFlush, fmt.Errorf("telemetry: pprof listen: %w", err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/\n", ln.Addr())
-		go http.Serve(ln, nil) // default mux carries the pprof handlers
+		f.servers = append(f.servers, srv)
+		undo = append(undo, func() { srv.Close() })
+		fmt.Fprintf(os.Stderr, "observability: serving http://%s/ (/metrics /healthz /statusz /debug/pprof)\n", srv.Addr())
 	}
-	return func() error {
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
-				return err
-			}
+
+	if f.Manifest != "" {
+		f.manifest = NewManifest(binaryName())
+		if err := f.manifest.CaptureStdout(); err != nil {
+			return fail(err)
 		}
+		// Register the sibling dumps; they are hashed at manifest-write
+		// time, after flush has produced them.
 		if f.Metrics != "" {
-			if err := dumpMetrics(f.Metrics); err != nil {
-				return err
-			}
+			f.manifest.AddOutputFile("metrics", f.Metrics)
+			f.manifest.AddOutputFile("metrics.prom", f.Metrics+".prom")
 		}
 		if f.Trace != "" {
-			if err := writeFileWith(f.Trace, WriteTrace); err != nil {
-				return err
-			}
+			f.manifest.AddOutputFile("trace", f.Trace)
 		}
-		return nil
-	}, nil
+		if eventFile != nil {
+			f.manifest.AddOutputFile("events", f.Events)
+		}
+	}
+
+	var once sync.Once
+	flush = func() error {
+		var errs []error
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					errs = append(errs, err)
+				}
+			}
+			if f.Metrics != "" {
+				if err := dumpMetrics(f.Metrics); err != nil {
+					errs = append(errs, err)
+				}
+			}
+			if f.Trace != "" {
+				if err := writeFileWith(f.Trace, WriteTrace); err != nil {
+					errs = append(errs, err)
+				}
+			}
+			if eventFile != nil {
+				DisableEventLog()
+				if err := eventFile.Close(); err != nil {
+					errs = append(errs, err)
+				}
+			}
+			for _, srv := range f.servers {
+				if err := srv.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					errs = append(errs, err)
+				}
+			}
+			f.servers = nil
+			if f.manifest != nil {
+				if err := f.manifest.WriteFile(f.Manifest); err != nil {
+					errs = append(errs, err)
+				}
+			}
+		})
+		return errors.Join(errs...)
+	}
+	return flush, nil
+}
+
+// binaryName returns the invoking binary's base name for the manifest.
+func binaryName() string {
+	if len(os.Args) == 0 {
+		return "unknown"
+	}
+	name := os.Args[0]
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' || name[i] == '\\' {
+			return name[i+1:]
+		}
+	}
+	return name
 }
 
 func noopFlush() error { return nil }

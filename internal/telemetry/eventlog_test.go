@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestEventLogJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	EnableEventLog(&buf, slog.LevelInfo)
+	defer DisableEventLog()
+
+	Event(slog.LevelInfo, "first event", slog.Int("n", 42))
+	Event(slog.LevelWarn, "second event", slog.Float64("shift", 1e-3), slog.String("why", "breakdown"))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if rec["msg"] != "first event" {
+		t.Errorf("msg = %v, want %q", rec["msg"], "first event")
+	}
+	if rec["n"] != float64(42) {
+		t.Errorf("n = %v, want 42", rec["n"])
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if rec["level"] != "WARN" {
+		t.Errorf("level = %v, want WARN", rec["level"])
+	}
+	if rec["shift"] != 1e-3 {
+		t.Errorf("shift = %v, want 0.001", rec["shift"])
+	}
+}
+
+func TestEventLogLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	EnableEventLog(&buf, slog.LevelWarn)
+	defer DisableEventLog()
+
+	Event(slog.LevelInfo, "dropped")
+	Event(slog.LevelError, "kept")
+
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Error("info event leaked through a warn-level log")
+	}
+	if !strings.Contains(out, "kept") {
+		t.Error("error event missing")
+	}
+}
+
+func TestEventLogDisabledByDefault(t *testing.T) {
+	if EventsEnabled() {
+		t.Fatal("event log enabled before EnableEventLog")
+	}
+	// Must be safe (and silent) without a logger.
+	Event(slog.LevelError, "into the void")
+}
+
+func TestEventLogDisable(t *testing.T) {
+	var buf bytes.Buffer
+	EnableEventLog(&buf, slog.LevelInfo)
+	DisableEventLog()
+	if EventsEnabled() {
+		t.Fatal("still enabled after DisableEventLog")
+	}
+	Event(slog.LevelError, "after disable")
+	if buf.Len() != 0 {
+		t.Errorf("event written after disable: %q", buf.String())
+	}
+}
+
+// TestEventDisabledZeroAlloc pins the disabled-cost contract: a gated-off
+// call site (gate check before constructing attrs) allocates nothing.
+func TestEventDisabledZeroAlloc(t *testing.T) {
+	DisableEventLog()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if EventsEnabled() {
+			Event(slog.LevelInfo, "never", slog.Int("n", 1))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("gated-off event call allocates %v times, want 0", allocs)
+	}
+}
+
+func BenchmarkEventOff(b *testing.B) {
+	DisableEventLog()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if EventsEnabled() {
+			Event(slog.LevelInfo, "bench", slog.Int("i", i))
+		}
+	}
+}
+
+func BenchmarkEventOn(b *testing.B) {
+	var buf bytes.Buffer
+	EnableEventLog(&buf, slog.LevelInfo)
+	defer DisableEventLog()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if EventsEnabled() {
+			Event(slog.LevelInfo, "bench", slog.Int("i", i))
+		}
+		if buf.Len() > 1<<20 {
+			buf.Reset()
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Manifest diffing: the comparison engine behind cmd/vsreport. Two runs are
+// compared along three axes — configuration (flags + seeds), recorded
+// metrics (counter deltas from the embedded snapshots), and output content
+// (hash match/mismatch per artifact). The typical uses are "what changed
+// between these two sweeps?" and "are these two identical-seed runs really
+// bit-identical?".
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FieldChange is one differing key between two manifests.
+type FieldChange struct {
+	Key  string
+	A, B string
+}
+
+// CounterChange is one differing metric counter.
+type CounterChange struct {
+	Name  string
+	A, B  int64
+	Delta int64
+}
+
+// OutputCompare pairs up one named output across two manifests.
+type OutputCompare struct {
+	Name     string
+	Match    bool
+	OnlyIn   string // "A" or "B" when the other run lacks this output
+	SHAA     string
+	SHAB     string
+	BytesA   int64
+	BytesB   int64
+	MissingA bool
+	MissingB bool
+}
+
+// ManifestDiff is the structured comparison of two manifests.
+type ManifestDiff struct {
+	A, B *Manifest
+
+	SameBinary   bool
+	SameRevision bool
+	FlagDelta    []FieldChange
+	SeedDelta    []FieldChange
+	MetricDelta  []CounterChange
+	Outputs      []OutputCompare
+}
+
+// OutputsMatch reports whether every output present in both runs hashed
+// identically (and none was one-sided or missing).
+func (d *ManifestDiff) OutputsMatch() bool {
+	for _, o := range d.Outputs {
+		if !o.Match {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffManifests compares two manifests field by field.
+func DiffManifests(a, b *Manifest) *ManifestDiff {
+	d := &ManifestDiff{
+		A: a, B: b,
+		SameBinary:   a.Binary == b.Binary,
+		SameRevision: a.VCSRevision == b.VCSRevision,
+	}
+	for _, k := range sortedKeys(a.Flags, b.Flags) {
+		if a.Flags[k] != b.Flags[k] {
+			d.FlagDelta = append(d.FlagDelta, FieldChange{k, a.Flags[k], b.Flags[k]})
+		}
+	}
+	for _, k := range sortedKeys(a.Seeds, b.Seeds) {
+		va, oka := a.Seeds[k]
+		vb, okb := b.Seeds[k]
+		if va != vb || oka != okb {
+			d.SeedDelta = append(d.SeedDelta, FieldChange{k, seedStr(va, oka), seedStr(vb, okb)})
+		}
+	}
+	ca, cb := a.metricsCounters(), b.metricsCounters()
+	for _, k := range sortedKeys(ca, cb) {
+		if ca[k] != cb[k] {
+			d.MetricDelta = append(d.MetricDelta, CounterChange{k, ca[k], cb[k], cb[k] - ca[k]})
+		}
+	}
+	oa, ob := outputsByName(a), outputsByName(b)
+	for _, k := range sortedKeys(oa, ob) {
+		xa, oka := oa[k]
+		xb, okb := ob[k]
+		cmp := OutputCompare{Name: k}
+		switch {
+		case oka && okb:
+			cmp.SHAA, cmp.SHAB = xa.SHA256, xb.SHA256
+			cmp.BytesA, cmp.BytesB = xa.Bytes, xb.Bytes
+			cmp.MissingA, cmp.MissingB = xa.Missing, xb.Missing
+			cmp.Match = !xa.Missing && !xb.Missing && xa.SHA256 == xb.SHA256
+		case oka:
+			cmp.OnlyIn, cmp.SHAA, cmp.BytesA, cmp.MissingA = "A", xa.SHA256, xa.Bytes, xa.Missing
+		default:
+			cmp.OnlyIn, cmp.SHAB, cmp.BytesB, cmp.MissingB = "B", xb.SHA256, xb.Bytes, xb.Missing
+		}
+		d.Outputs = append(d.Outputs, cmp)
+	}
+	return d
+}
+
+func seedStr(v int64, ok bool) string {
+	if !ok {
+		return "(unset)"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func outputsByName(m *Manifest) map[string]ManifestOutput {
+	out := map[string]ManifestOutput{}
+	for _, o := range m.Outputs {
+		out[o.Name] = o
+	}
+	return out
+}
+
+// Render formats the diff as the human-readable vsreport output.
+func (d *ManifestDiff) Render() string {
+	var b strings.Builder
+	hdr := func(m *Manifest, tag string) {
+		rev := m.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev == "" {
+			rev = "(no vcs stamp)"
+		}
+		fmt.Fprintf(&b, "%s: %s %s  started %s  wall %.1fs", tag, m.Binary, rev, m.StartTime, m.WallSeconds)
+		if m.ExitError != "" {
+			fmt.Fprintf(&b, "  FAILED: %s", m.ExitError)
+		}
+		b.WriteByte('\n')
+	}
+	hdr(d.A, "A")
+	hdr(d.B, "B")
+
+	b.WriteString("\nconfig delta:\n")
+	if len(d.FlagDelta)+len(d.SeedDelta) == 0 {
+		b.WriteString("  (identical flags and seeds)\n")
+	}
+	for _, c := range d.FlagDelta {
+		fmt.Fprintf(&b, "  -%s: %q -> %q\n", c.Key, c.A, c.B)
+	}
+	for _, c := range d.SeedDelta {
+		fmt.Fprintf(&b, "  seed %s: %s -> %s\n", c.Key, c.A, c.B)
+	}
+
+	b.WriteString("\nmetric delta (counters):\n")
+	if len(d.MetricDelta) == 0 {
+		b.WriteString("  (identical or absent metric snapshots)\n")
+	}
+	for _, c := range d.MetricDelta {
+		fmt.Fprintf(&b, "  %-40s %12d -> %-12d (%+d)\n", c.Name, c.A, c.B, c.Delta)
+	}
+
+	b.WriteString("\noutputs:\n")
+	if len(d.Outputs) == 0 {
+		b.WriteString("  (no outputs recorded)\n")
+	}
+	for _, o := range d.Outputs {
+		switch {
+		case o.OnlyIn != "":
+			fmt.Fprintf(&b, "  %-10s only in %s\n", o.Name, o.OnlyIn)
+		case o.Match:
+			fmt.Fprintf(&b, "  %-10s MATCH    sha256 %s (%d bytes)\n", o.Name, short(o.SHAA), o.BytesA)
+		default:
+			fmt.Fprintf(&b, "  %-10s MISMATCH A %s (%d bytes)  B %s (%d bytes)\n",
+				o.Name, short(o.SHAA), o.BytesA, short(o.SHAB), o.BytesB)
+		}
+	}
+	if d.OutputsMatch() && len(d.Outputs) > 0 {
+		b.WriteString("\nall output hashes equal\n")
+	}
+	return b.String()
+}
+
+func short(sha string) string {
+	if len(sha) > 16 {
+		return sha[:16]
+	}
+	if sha == "" {
+		return "(missing)"
+	}
+	return sha
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func diffFixtures() (*Manifest, *Manifest) {
+	a := &Manifest{
+		Schema: 1, Binary: "vsim", VCSRevision: "aaaa1111bbbb2222cccc",
+		Flags:   map[string]string{"layers": "8", "grid": "32", "kind": "vs"},
+		Seeds:   map[string]int64{"study": 1},
+		Metrics: json.RawMessage(`{"counters":{"pdngrid_solves_total":4,"sparse_pcg_iterations_total":100}}`),
+		Outputs: []ManifestOutput{
+			{Name: "stdout", SHA256: "s1", Bytes: 10},
+			{Name: "csv", Path: "a.csv", SHA256: "c1", Bytes: 5},
+			{Name: "trace", Path: "t.json", SHA256: "t1", Bytes: 7},
+		},
+	}
+	b := &Manifest{
+		Schema: 1, Binary: "vsim", VCSRevision: "aaaa1111bbbb2222cccc",
+		Flags:   map[string]string{"layers": "16", "grid": "32", "kind": "vs"},
+		Seeds:   map[string]int64{"study": 2},
+		Metrics: json.RawMessage(`{"counters":{"pdngrid_solves_total":4,"sparse_pcg_iterations_total":250}}`),
+		Outputs: []ManifestOutput{
+			{Name: "stdout", SHA256: "s2", Bytes: 11},
+			{Name: "csv", Path: "b.csv", SHA256: "c1", Bytes: 5},
+			{Name: "events", Path: "e.jsonl", SHA256: "e1", Bytes: 3},
+		},
+	}
+	return a, b
+}
+
+func TestDiffManifests(t *testing.T) {
+	a, b := diffFixtures()
+	d := DiffManifests(a, b)
+
+	if !d.SameBinary || !d.SameRevision {
+		t.Errorf("SameBinary=%v SameRevision=%v, want true/true", d.SameBinary, d.SameRevision)
+	}
+	if len(d.FlagDelta) != 1 || d.FlagDelta[0].Key != "layers" || d.FlagDelta[0].A != "8" || d.FlagDelta[0].B != "16" {
+		t.Errorf("FlagDelta = %+v", d.FlagDelta)
+	}
+	if len(d.SeedDelta) != 1 || d.SeedDelta[0].Key != "study" {
+		t.Errorf("SeedDelta = %+v", d.SeedDelta)
+	}
+	if len(d.MetricDelta) != 1 {
+		t.Fatalf("MetricDelta = %+v", d.MetricDelta)
+	}
+	if c := d.MetricDelta[0]; c.Name != "sparse_pcg_iterations_total" || c.Delta != 150 {
+		t.Errorf("MetricDelta[0] = %+v", c)
+	}
+
+	byName := map[string]OutputCompare{}
+	for _, o := range d.Outputs {
+		byName[o.Name] = o
+	}
+	if o := byName["csv"]; !o.Match {
+		t.Errorf("csv should match: %+v", o)
+	}
+	if o := byName["stdout"]; o.Match {
+		t.Errorf("stdout should mismatch: %+v", o)
+	}
+	if o := byName["trace"]; o.OnlyIn != "A" {
+		t.Errorf("trace should be only in A: %+v", o)
+	}
+	if o := byName["events"]; o.OnlyIn != "B" {
+		t.Errorf("events should be only in B: %+v", o)
+	}
+	if d.OutputsMatch() {
+		t.Error("OutputsMatch true despite mismatched stdout")
+	}
+}
+
+func TestDiffIdenticalRuns(t *testing.T) {
+	a, _ := diffFixtures()
+	b := *a
+	d := DiffManifests(a, &b)
+	if len(d.FlagDelta)+len(d.SeedDelta)+len(d.MetricDelta) != 0 {
+		t.Errorf("identical manifests produced deltas: %+v", d)
+	}
+	if !d.OutputsMatch() {
+		t.Error("identical manifests: OutputsMatch false")
+	}
+	out := d.Render()
+	for _, want := range []string{"identical flags and seeds", "identical or absent metric snapshots", "all output hashes equal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffRender(t *testing.T) {
+	a, b := diffFixtures()
+	a.ExitError = "solver blew up"
+	out := DiffManifests(a, b).Render()
+	for _, want := range []string{
+		"A: vsim aaaa1111bbbb",
+		"FAILED: solver blew up",
+		`-layers: "8" -> "16"`,
+		"seed study: 1 -> 2",
+		"sparse_pcg_iterations_total",
+		"(+150)",
+		"MATCH",
+		"MISMATCH",
+		"only in A",
+		"only in B",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "all output hashes equal") {
+		t.Errorf("mismatched diff claims all hashes equal:\n%s", out)
+	}
+}
+
+func TestOutputCompareMissing(t *testing.T) {
+	a := &Manifest{Outputs: []ManifestOutput{{Name: "csv", Missing: true}}}
+	b := &Manifest{Outputs: []ManifestOutput{{Name: "csv", SHA256: "c1"}}}
+	d := DiffManifests(a, b)
+	if d.Outputs[0].Match {
+		t.Error("a missing output must never match")
+	}
+}

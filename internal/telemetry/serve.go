@@ -1,0 +1,179 @@
+// Live HTTP introspection: a small observability server every binary can
+// expose with -serve (and that -pprof now also uses). Unlike the -metrics
+// dump-on-exit path, these endpoints answer mid-run:
+//
+//	/metrics      Prometheus text exposition of the live registry
+//	/healthz      liveness probe ({"status":"ok"} + uptime)
+//	/statusz      JSON progress snapshot: active experiments, points
+//	              evaluated, solver-effort totals
+//	/debug/pprof  the standard pprof handlers
+//
+// Everything is registered on a private mux — never on
+// http.DefaultServeMux — so an embedding process that serves its own HTTP
+// (or a test that calls Flags.Init twice) cannot collide with us, and the
+// listener is owned by a Server whose Close the flush path calls, so no
+// goroutine or socket outlives the run.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Active-task tracker behind /statusz's "current experiment" field. Gated
+// like everything else: TaskStart/TaskEnd are one atomic load when no
+// server is running. Call sites are per-experiment (dozens per run), never
+// per-iteration.
+var (
+	statusOn    atomic.Bool
+	activeMu    sync.Mutex
+	activeTasks = map[string]int{}
+	processT0   = time.Now()
+)
+
+// TaskStart marks a named unit of work (an experiment driver, a sweep) as
+// running, for the /statusz active list. Pair with TaskEnd.
+func TaskStart(name string) {
+	if !statusOn.Load() {
+		return
+	}
+	activeMu.Lock()
+	activeTasks[name]++
+	activeMu.Unlock()
+}
+
+// TaskEnd marks a named unit of work as finished.
+func TaskEnd(name string) {
+	if !statusOn.Load() {
+		return
+	}
+	activeMu.Lock()
+	if activeTasks[name]--; activeTasks[name] <= 0 {
+		delete(activeTasks, name)
+	}
+	activeMu.Unlock()
+}
+
+// activeTaskNames returns the currently-running task names, sorted.
+func activeTaskNames() []string {
+	activeMu.Lock()
+	names := make([]string, 0, len(activeTasks))
+	for n := range activeTasks {
+		names = append(names, n)
+	}
+	activeMu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// StatusSnapshot is the /statusz payload: a coarse live view of where a
+// run is, assembled from the metric registry's counters.
+type StatusSnapshot struct {
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Active        []string `json:"active"` // currently-running experiments/sweeps
+
+	ExperimentsDone int64 `json:"experiments_done"`
+	PointsEvaluated int64 `json:"points_evaluated"`
+	PDNSolves       int64 `json:"pdn_solves"`
+	OuterIterations int64 `json:"outer_iterations"`
+	PCGIterations   int64 `json:"pcg_iterations"`
+	PCGNonConverged int64 `json:"pcg_nonconverged"`
+	MCTrials        int64 `json:"mc_trials"`
+}
+
+// Status assembles the current snapshot from the process registry.
+func Status() StatusSnapshot {
+	s := StatusSnapshot{
+		UptimeSeconds:   time.Since(processT0).Seconds(),
+		Active:          activeTaskNames(),
+		ExperimentsDone: std.Counter("core_experiments_total").Value(),
+		PointsEvaluated: std.Counter("explore_points_total").Value(),
+		PDNSolves:       std.Counter("pdngrid_solves_total").Value(),
+		OuterIterations: std.Counter("pdngrid_outer_iterations_total").Value(),
+		PCGIterations:   std.Counter("sparse_pcg_iterations_total").Value(),
+		PCGNonConverged: std.Counter("sparse_pcg_nonconverged_total").Value(),
+		MCTrials:        std.Counter("em_mc_trials_total").Value(),
+	}
+	if s.Active == nil {
+		s.Active = []string{}
+	}
+	return s
+}
+
+// Server is a live observability endpoint bound to one listener.
+type Server struct {
+	ln     net.Listener
+	srv    *http.Server
+	closed sync.Once
+}
+
+// NewObservabilityMux builds the private mux with all introspection
+// handlers. Exposed so an embedding service can mount these routes on its
+// own server instead of opening a second port.
+func NewObservabilityMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		std.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.1f}\n", time.Since(processT0).Seconds())
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Status())
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// StartServer listens on addr (e.g. "localhost:6060", or ":0" for an
+// ephemeral port) and serves the observability mux in the background. It
+// turns on the /statusz task tracker. Stop it with Close; the flush
+// function of Flags.Init does so automatically.
+func StartServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: serve listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewObservabilityMux()}
+	s := &Server{ln: ln, srv: srv}
+	statusOn.Store(true)
+	go srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down and closes its listener. Idempotent and
+// nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	var err error
+	s.closed.Do(func() {
+		err = s.srv.Close() // closes the listener and all connections
+	})
+	return err
+}
