@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve fuzz golden profile metrics-demo provenance-demo
+.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve fuzz golden profile metrics-demo provenance-demo serve-demo
 
 build:
 	$(GO) build ./...
@@ -73,3 +73,21 @@ provenance-demo: build
 	$(GO) run ./cmd/vsim -grid 16 -manifest /tmp/voltstack-run-a.json > /dev/null
 	$(GO) run ./cmd/vsim -grid 16 -manifest /tmp/voltstack-run-b.json > /dev/null
 	$(GO) run ./cmd/vsreport /tmp/voltstack-run-a.json /tmp/voltstack-run-b.json
+
+# serve-demo starts the evaluation daemon, runs the same job twice through
+# vsctl (the second is a content-addressed cache hit: identical bytes, zero
+# solver work) and shuts the daemon down with a graceful SIGTERM drain.
+serve-demo: build
+	$(GO) build -o bin/vsserved ./cmd/vsserved
+	$(GO) build -o bin/vsctl ./cmd/vsctl
+	rm -rf /tmp/voltstack-serve-demo && mkdir -p /tmp/voltstack-serve-demo
+	./bin/vsserved -addr localhost:18324 \
+		-state-dir /tmp/voltstack-serve-demo/state \
+		-cache-dir /tmp/voltstack-serve-demo/cache & pid=$$!; \
+	export VSSERVED_ADDR=http://localhost:18324; \
+	for i in $$(seq 1 100); do ./bin/vsctl list >/dev/null 2>&1 && break; sleep 0.1; done; \
+	./bin/vsctl run -exp fig5a -csv -coarse > /tmp/voltstack-serve-demo/a.csv; \
+	./bin/vsctl run -exp fig5a -csv -coarse > /tmp/voltstack-serve-demo/b.csv; \
+	cmp /tmp/voltstack-serve-demo/a.csv /tmp/voltstack-serve-demo/b.csv \
+		&& echo "serve-demo: cached replay byte-identical"; \
+	kill -TERM $$pid; wait $$pid

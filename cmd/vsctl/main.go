@@ -1,0 +1,315 @@
+// Command vsctl is the client for the vsserved evaluation daemon.
+//
+// Usage:
+//
+//	vsctl [-addr URL] [-poll D] <command> [flags]
+//
+// Commands:
+//
+//	submit    submit a job, print its accepted status JSON
+//	status    print a job's status JSON              (vsctl status <id>)
+//	result    write a done job's output to stdout    (vsctl result <id>)
+//	wait      poll until terminal, print status JSON (vsctl wait <id>)
+//	cancel    request cancellation, print status     (vsctl cancel <id>)
+//	list      print every job's status JSON
+//	run       submit + wait + result in one step
+//	evaluate  evaluate a single design synchronously
+//
+// Job requests come either from -f FILE (raw JSON, "-" for stdin) or
+// from flags mirroring cmd/vsexplore:
+//
+//	vsctl run -exp fig5a -csv -coarse      # byte-identical to: vsexplore -exp fig5a -csv -coarse
+//	vsctl run -exp table1,table2 -coarse   # vsexplore's stdout minus its timing line
+//	vsctl run -sweep -layers 8 -grid 16    # design-space sweep, canonical-JSON result
+//	vsctl run -trials 4000                 # EM Monte Carlo cross-check
+//
+// The daemon caches by content address, so re-running an identical
+// request returns the cached bytes without solver work (see the
+// cache_hit field of the status).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"voltstack/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", defaultAddr(), "vsserved base URL (or VSSERVED_ADDR)")
+	poll := flag.Duration("poll", 200*time.Millisecond, "status polling interval for wait/run")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &server.Client{Base: *addr, Poll: *poll}
+	ctx := context.Background()
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(ctx, c, args, false)
+	case "run":
+		err = cmdSubmit(ctx, c, args, true)
+	case "status":
+		err = withJobID(args, func(id string) error {
+			st, err := c.Status(ctx, id)
+			return printStatus(st, err)
+		})
+	case "wait":
+		err = withJobID(args, func(id string) error {
+			st, err := c.Wait(ctx, id)
+			return printStatus(st, err)
+		})
+	case "cancel":
+		err = withJobID(args, func(id string) error {
+			st, err := c.Cancel(ctx, id)
+			return printStatus(st, err)
+		})
+	case "result":
+		err = withJobID(args, func(id string) error {
+			res, err := c.Result(ctx, id)
+			if err != nil {
+				return err
+			}
+			_, err = os.Stdout.Write(res)
+			return err
+		})
+	case "list":
+		var jobs []server.JobStatus
+		if jobs, err = c.List(ctx); err == nil {
+			err = printJSON(jobs)
+		}
+	case "evaluate":
+		err = cmdEvaluate(ctx, c, args)
+	default:
+		fmt.Fprintf(os.Stderr, "vsctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: vsctl [-addr URL] [-poll D] <command> [flags]
+
+commands:
+  submit [job flags]    submit a job, print its status JSON
+  run    [job flags]    submit, wait, write the result to stdout
+  status <id>           print a job's status JSON
+  wait   <id>           poll until the job is terminal, print its status
+  result <id>           write a done job's output to stdout
+  cancel <id>           request cancellation
+  list                  print every job's status JSON
+  evaluate [flags]      evaluate one design synchronously
+
+job flags (submit/run):
+  -f FILE               raw request JSON ("-": stdin); overrides the rest
+  -exp LIST             experiment job: comma-separated experiment names
+  -csv                  CSV rendering (experiment job)
+  -sweep                design-space sweep job
+  -layers N -imbalance X -pads LIST -converters LIST -tsvs LIST -grid N
+                        sweep axes (defaults: the paper's space)
+  -trials N             EM Monte Carlo job
+  -coarse -seed N -workers N
+                        study knobs, as in vsexplore
+`)
+	flag.PrintDefaults()
+}
+
+func defaultAddr() string {
+	if v := os.Getenv("VSSERVED_ADDR"); v != "" {
+		return v
+	}
+	return "http://localhost:8324"
+}
+
+func withJobID(args []string, f func(id string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one job id, got %d arguments", len(args))
+	}
+	return f(args[0])
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func printStatus(st server.JobStatus, err error) error {
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdSubmit(ctx context.Context, c *server.Client, args []string, wait bool) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	file := fs.String("f", "", "read the request JSON from this file (\"-\": stdin)")
+	exp := fs.String("exp", "", "comma-separated experiments (experiment job)")
+	csv := fs.Bool("csv", false, "CSV rendering (experiment job)")
+	sweep := fs.Bool("sweep", false, "design-space sweep job")
+	layers := fs.Int("layers", 0, "sweep: stack depth (0: 8)")
+	imbalance := fs.Float64("imbalance", -1, "sweep: workload imbalance in [0,1] (-1: 0.65)")
+	pads := fs.String("pads", "", "sweep: comma-separated pad power fractions")
+	converters := fs.String("converters", "", "sweep: comma-separated converters-per-core counts")
+	tsvs := fs.String("tsvs", "", "sweep: comma-separated TSV topologies (dense,sparse,few)")
+	grid := fs.Int("grid", 0, "sweep: PDN mesh resolution NxN (0: 32, 16 with -coarse)")
+	trials := fs.Int("trials", 0, "EM Monte Carlo job: trial count")
+	coarse := fs.Bool("coarse", false, "coarse 16x16 PDN mesh")
+	seed := fs.Int64("seed", 0, "study RNG seed (0: 1)")
+	workers := fs.Int("workers", 0, "evaluation concurrency (0: server default)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments after job flags: %v", fs.Args())
+	}
+
+	var req server.JobRequest
+	if *file != "" {
+		r := io.Reader(os.Stdin)
+		if *file != "-" {
+			f, err := os.Open(*file)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		p, err := server.DecodeJobRequest(r)
+		if err != nil {
+			return err
+		}
+		req = *p
+	} else {
+		req = server.JobRequest{Coarse: *coarse, Seed: *seed, Workers: *workers}
+		switch {
+		case *exp != "":
+			req.Kind = server.KindExperiment
+			for _, name := range strings.Split(*exp, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					req.Experiments = append(req.Experiments, name)
+				}
+			}
+			req.CSV = *csv
+		case *sweep:
+			req.Kind = server.KindSweep
+			spec := &server.SweepSpec{Layers: *layers, GridNx: *grid}
+			if *imbalance >= 0 {
+				imb := *imbalance
+				spec.Imbalance = &imb
+			}
+			var err error
+			if spec.PadFractions, err = parseFloats(*pads); err != nil {
+				return fmt.Errorf("-pads: %v", err)
+			}
+			if spec.ConverterCount, err = parseInts(*converters); err != nil {
+				return fmt.Errorf("-converters: %v", err)
+			}
+			if *tsvs != "" {
+				spec.TSVs = splitList(*tsvs)
+			}
+			req.Sweep = spec
+		case *trials > 0:
+			req.Kind = server.KindEMMC
+			req.Trials = *trials
+		default:
+			return fmt.Errorf("nothing to submit: use -exp, -sweep, -trials or -f (see vsctl -h)")
+		}
+	}
+
+	if !wait {
+		st, err := c.Submit(ctx, req)
+		return printStatus(st, err)
+	}
+	res, st, err := c.Run(ctx, req)
+	if err != nil {
+		return err
+	}
+	if st.CacheHit {
+		fmt.Fprintf(os.Stderr, "vsctl: job %s served from cache\n", st.ID)
+	}
+	_, err = os.Stdout.Write(res)
+	return err
+}
+
+func cmdEvaluate(ctx context.Context, c *server.Client, args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	kind := fs.String("kind", "regular", "PDN kind: regular or vs")
+	layers := fs.Int("layers", 8, "stack depth")
+	tsv := fs.String("tsv", "dense", "TSV topology: dense, sparse or few")
+	padFraction := fs.Float64("pad-fraction", 0.5, "power-pad fraction in (0,1]")
+	converters := fs.Int("converters", 4, "converters per core (vs only)")
+	imbalance := fs.Float64("imbalance", 0.65, "workload imbalance in [0,1]")
+	grid := fs.Int("grid", 16, "PDN mesh resolution NxN")
+	workers := fs.Int("workers", 0, "evaluation concurrency (0: server default)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	q := url.Values{}
+	q.Set("kind", *kind)
+	q.Set("layers", strconv.Itoa(*layers))
+	q.Set("tsv", *tsv)
+	q.Set("pad_fraction", strconv.FormatFloat(*padFraction, 'g', -1, 64))
+	q.Set("converters", strconv.Itoa(*converters))
+	q.Set("imbalance", strconv.FormatFloat(*imbalance, 'g', -1, 64))
+	q.Set("grid", strconv.Itoa(*grid))
+	if *workers > 0 {
+		q.Set("workers", strconv.Itoa(*workers))
+	}
+	out, err := c.Evaluate(ctx, q)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(out, '\n'))
+	return err
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, v := range splitList(s) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, v := range splitList(s) {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -16,6 +16,10 @@
 // Every number printed is identical for any worker count, and identical
 // with telemetry on or off (metrics, traces and progress go to files and
 // stderr, never stdout).
+//
+// The experiment drivers live in the internal/core registry, which the
+// evaluation service (cmd/vsserved) shares — a job submitted through
+// cmd/vsctl renders the same bytes this command prints.
 package main
 
 import (
@@ -33,7 +37,7 @@ import (
 
 func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of text tables (fig3a/fig3b/fig5a/fig5b/fig6/fig7/fig8 only)")
-	exp := flag.String("exp", "all", "comma-separated experiments to run (all, table1, table2, fig3a, fig3b, fig5a, fig5b, fig6, fig7, fig8, thermal, headlines, ext-transient, ext-converters, ext-scheduling, ext-electrothermal, ext-thermal-em, ext-guardband, ext-trace-noise, ext-scaling, ext-dvfs, ext-decap-split, ext-em-mc)")
+	exp := flag.String("exp", "all", "comma-separated experiments to run (all, "+strings.Join(core.ExperimentNames(), ", ")+")")
 	coarse := flag.Bool("coarse", false, "use a coarse 16x16 PDN mesh for speed")
 	workers := flag.Int("workers", 0, "worker-pool size (0: GOMAXPROCS, or VOLTSTACK_WORKERS if set)")
 	tf := telemetry.RegisterFlags()
@@ -61,193 +65,7 @@ func main() {
 	s.Workers = *workers
 	tf.RunManifest().AddSeed("study", s.Seed)
 
-	csvRunners := map[string]func() (string, error){
-		"fig3a": func() (string, error) {
-			pts, err := s.Fig3a()
-			if err != nil {
-				return "", err
-			}
-			return core.CSVFig3(pts), nil
-		},
-		"fig3b": func() (string, error) {
-			pts, err := s.Fig3b()
-			if err != nil {
-				return "", err
-			}
-			return core.CSVFig3(pts), nil
-		},
-		"fig5a": func() (string, error) {
-			fig, err := s.Fig5a()
-			if err != nil {
-				return "", err
-			}
-			return core.CSVFig5(fig), nil
-		},
-		"fig5b": func() (string, error) {
-			fig, err := s.Fig5b()
-			if err != nil {
-				return "", err
-			}
-			return core.CSVFig5(fig), nil
-		},
-		"fig6": func() (string, error) {
-			fig, err := s.Fig6()
-			if err != nil {
-				return "", err
-			}
-			return core.CSVFig6(fig), nil
-		},
-		"fig7": func() (string, error) { return core.CSVFig7(s.Fig7()), nil },
-		"fig8": func() (string, error) {
-			fig, err := s.Fig8()
-			if err != nil {
-				return "", err
-			}
-			return core.CSVFig8(fig), nil
-		},
-	}
-
-	runners := map[string]func() (string, error){
-		"table1": func() (string, error) { return core.RenderTable1(s.Table1()), nil },
-		"table2": func() (string, error) { return core.RenderTable2(s.Table2()), nil },
-		"fig3a": func() (string, error) {
-			pts, err := s.Fig3a()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderFig3("Fig. 3a: closed-loop SC converter validation (model vs. switch-level simulation)", pts, false), nil
-		},
-		"fig3b": func() (string, error) {
-			pts, err := s.Fig3b()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderFig3("Fig. 3b: open-loop SC converter validation (model vs. switch-level simulation)", pts, true), nil
-		},
-		"fig5a": func() (string, error) {
-			f, err := s.Fig5a()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderFig5("Fig. 5a: normalized power-supply TSV EM-free MTTF (base: 2-layer V-S)", f), nil
-		},
-		"fig5b": func() (string, error) {
-			f, err := s.Fig5b()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderFig5("Fig. 5b: normalized power-supply C4 EM-free MTTF (base: 2-layer V-S)", f), nil
-		},
-		"fig6": func() (string, error) {
-			f, err := s.Fig6()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderFig6(f), nil
-		},
-		"fig7": func() (string, error) { return core.RenderFig7(s.Fig7()), nil },
-		"fig8": func() (string, error) {
-			f, err := s.Fig8()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderFig8(f), nil
-		},
-		"thermal": func() (string, error) {
-			tc, err := s.Thermal()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderThermal(tc), nil
-		},
-		"headlines": func() (string, error) {
-			h, err := s.Headlines()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderHeadlines(h), nil
-		},
-		"ext-transient": func() (string, error) {
-			r, err := s.ExtTransient()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderExtTransient(r), nil
-		},
-		"ext-converters": func() (string, error) {
-			return core.RenderExtConverters(s.ExtConverters()), nil
-		},
-		"ext-scheduling": func() (string, error) {
-			r, err := s.ExtScheduling()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderExtScheduling(r), nil
-		},
-		"ext-decap-split": func() (string, error) {
-			r, err := s.ExtDecapSplit(1200)
-			if err != nil {
-				return "", err
-			}
-			return core.RenderExtDecapSplit(r), nil
-		},
-		"ext-dvfs": func() (string, error) {
-			r, err := s.ExtDVFS()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderExtDVFS(r), nil
-		},
-		"ext-scaling": func() (string, error) {
-			r, err := s.ExtScaling()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderExtScaling(r), nil
-		},
-		"ext-trace-noise": func() (string, error) {
-			r, err := s.ExtTraceNoise(100)
-			if err != nil {
-				return "", err
-			}
-			return core.RenderExtTraceNoise(r), nil
-		},
-		"ext-guardband": func() (string, error) {
-			r, err := s.ExtGuardband()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderExtGuardband(r), nil
-		},
-		"ext-thermal-em": func() (string, error) {
-			r, err := s.ExtThermalEM()
-			if err != nil {
-				return "", err
-			}
-			return core.RenderExtThermalEM(r), nil
-		},
-		"ext-em-mc": func() (string, error) {
-			r, err := s.ExtEMMonteCarlo(4000)
-			if err != nil {
-				return "", err
-			}
-			return core.RenderExtEMMonteCarlo(r), nil
-		},
-		"ext-electrothermal": func() (string, error) {
-			var rows []*core.ExtElectrothermalResult
-			for layers := 2; layers <= 8; layers += 2 {
-				r, err := s.ExtElectrothermal(layers)
-				if err != nil {
-					return "", err
-				}
-				rows = append(rows, r)
-			}
-			return core.RenderExtElectrothermal(rows), nil
-		},
-	}
-	order := []string{"table1", "table2", "fig3a", "fig3b", "fig5a", "fig5b", "fig6", "fig7", "fig8",
-		"thermal", "headlines", "ext-transient", "ext-converters", "ext-scheduling", "ext-electrothermal", "ext-thermal-em", "ext-guardband", "ext-trace-noise", "ext-scaling", "ext-dvfs", "ext-decap-split", "ext-em-mc"}
-
+	order := core.ExperimentNames()
 	var selected []string
 	switch strings.ToLower(*exp) {
 	case "all":
@@ -258,7 +76,7 @@ func main() {
 			if name == "" {
 				continue
 			}
-			if _, ok := runners[name]; !ok {
+			if !core.IsExperiment(name) {
 				fail(2, fmt.Errorf("unknown experiment %q (have: all %s)", name, strings.Join(order, " ")))
 			}
 			selected = append(selected, name)
@@ -271,7 +89,7 @@ func main() {
 	start := time.Now()
 	if *csvOut {
 		for _, name := range selected {
-			if _, ok := csvRunners[name]; !ok {
+			if !core.HasCSV(name) {
 				fail(2, fmt.Errorf("no CSV form for %q", name))
 			}
 		}
@@ -283,11 +101,7 @@ func main() {
 	prog := telemetry.NewProgress("experiments", len(selected))
 	pool := parallel.NewPool(*workers)
 	outputs, err := parallel.Map(context.Background(), pool, selected, func(_ int, name string) (string, error) {
-		run := runners[name]
-		if *csvOut {
-			run = csvRunners[name]
-		}
-		out, err := run()
+		out, err := core.RunExperiment(s, name, *csvOut)
 		if err != nil {
 			return "", fmt.Errorf("%s: %v", name, err)
 		}

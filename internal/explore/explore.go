@@ -86,6 +86,24 @@ type Space struct {
 	// rebuilds every network from scratch — the pre-caching baseline, kept
 	// for benchmarking and equivalence tests.
 	ForceFreshSolve bool
+
+	// OnPoint, when non-nil, is invoked once per design point as its
+	// evaluation completes — with the point's index in Designs() order and
+	// its raw (pre-normalization) metrics — so a caller can checkpoint
+	// partial progress or report completed/total without polling. Points
+	// supplied through Precomputed fire the callback too. Calls arrive
+	// from worker goroutines concurrently and in completion order, not
+	// index order; the callback must be safe for concurrent use. The
+	// *Metrics handed over is the same object Run later normalizes in
+	// place, so callers that retain it past Run must copy it first.
+	OnPoint func(index int, m *Metrics)
+
+	// Precomputed supplies already-evaluated raw metrics by design index
+	// (a resume checkpoint or a result cache); Run uses an entry instead
+	// of evaluating that design, bit-identically to having computed it.
+	// Run mutates entries during lifetime normalization, so supply fresh
+	// copies, not pointers shared with a cache.
+	Precomputed map[int]*Metrics
 }
 
 // DefaultSpace enumerates the paper's axes at the application-average
@@ -228,7 +246,14 @@ func (s Space) RunContext(ctx context.Context) (*Result, error) {
 	tRun := telemetry.Now()
 	prog := telemetry.NewProgress("explore", len(designs))
 	pool := parallel.NewPool(s.Workers)
-	metrics, err := parallel.Map(ctx, pool, designs, func(_ int, d Design) (*Metrics, error) {
+	metrics, err := parallel.Map(ctx, pool, designs, func(i int, d Design) (*Metrics, error) {
+		if m, ok := s.Precomputed[i]; ok && m != nil {
+			prog.Add(1)
+			if s.OnPoint != nil {
+				s.OnPoint(i, m)
+			}
+			return m, nil
+		}
 		t0 := telemetry.Now()
 		m, err := s.Evaluate(d)
 		if err != nil {
@@ -237,6 +262,9 @@ func (s Space) RunContext(ctx context.Context) (*Result, error) {
 		mPoints.Add(1)
 		mEvalSeconds.Since(t0)
 		prog.Add(1)
+		if s.OnPoint != nil {
+			s.OnPoint(i, m)
+		}
 		return m, nil
 	})
 	if err != nil {

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"voltstack/internal/pdngrid"
@@ -152,6 +154,109 @@ func TestRunWorkerEquivalence(t *testing.T) {
 			t.Errorf("ForceFreshSolve workers=%d result differs from prepared run", workers)
 		}
 	}
+}
+
+// TestRunOnPointCallback is the progress-hook contract: OnPoint fires
+// exactly once per enumerated design, with its Designs() index, at every
+// worker count — the property the serving layer's checkpointing relies on.
+func TestRunOnPointCallback(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		s := smallSpace()
+		s.Params.GridNx, s.Params.GridNy = 8, 8
+		s.Workers = workers
+		n := len(s.Designs())
+		var calls atomic.Int64
+		var mu sync.Mutex
+		seen := map[int]bool{}
+		s.OnPoint = func(i int, m *Metrics) {
+			calls.Add(1)
+			if m == nil {
+				t.Errorf("workers=%d: OnPoint(%d) got nil metrics", workers, i)
+			}
+			mu.Lock()
+			if seen[i] {
+				t.Errorf("workers=%d: OnPoint fired twice for index %d", workers, i)
+			}
+			seen[i] = true
+			mu.Unlock()
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := calls.Load(); got != int64(n) {
+			t.Errorf("workers=%d: OnPoint fired %d times, want %d", workers, got, n)
+		}
+		for i := 0; i < n; i++ {
+			if !seen[i] {
+				t.Errorf("workers=%d: no OnPoint call for index %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunPrecomputed proves the resume path: a run whose every point is
+// supplied via Precomputed must reproduce the evaluated Result bit for
+// bit without touching the models (the chip is nilled out, so any real
+// evaluation would fail).
+func TestRunPrecomputed(t *testing.T) {
+	base := smallSpace()
+	base.Params.GridNx, base.Params.GridNy = 8, 8
+
+	// Reference run, capturing raw (pre-normalization) metrics copies.
+	var mu sync.Mutex
+	raw := map[int]*Metrics{}
+	s1 := base
+	s1.OnPoint = func(i int, m *Metrics) {
+		cp := *m
+		mu.Lock()
+		raw[i] = &cp
+		mu.Unlock()
+	}
+	ref, err := s1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != len(base.Designs()) {
+		t.Fatalf("captured %d raw points, want %d", len(raw), len(base.Designs()))
+	}
+
+	// Full replay: no design may be evaluated, so break the models.
+	s2 := base
+	s2.Chip = nil
+	s2.Precomputed = copyMetricsMap(raw)
+	res, err := s2.Run()
+	if err != nil {
+		t.Fatalf("precomputed run evaluated a design: %v", err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Error("fully-precomputed run differs from evaluated run")
+	}
+
+	// Partial replay (even indices cached, odd ones evaluated) must agree
+	// too — the mid-sweep-restart scenario.
+	s3 := base
+	s3.Precomputed = map[int]*Metrics{}
+	for i, m := range copyMetricsMap(raw) {
+		if i%2 == 0 {
+			s3.Precomputed[i] = m
+		}
+	}
+	res3, err := s3.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res3, ref) {
+		t.Error("partially-precomputed run differs from evaluated run")
+	}
+}
+
+func copyMetricsMap(in map[int]*Metrics) map[int]*Metrics {
+	out := make(map[int]*Metrics, len(in))
+	for i, m := range in {
+		cp := *m
+		out[i] = &cp
+	}
+	return out
 }
 
 func TestRunContextCancelled(t *testing.T) {

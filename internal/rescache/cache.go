@@ -1,0 +1,232 @@
+package rescache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"voltstack/internal/telemetry"
+)
+
+// Cache instrumentation. No-ops unless telemetry is enabled.
+var (
+	mHits        = telemetry.NewCounter("rescache_hits_total")
+	mDiskHits    = telemetry.NewCounter("rescache_disk_hits_total")
+	mMisses      = telemetry.NewCounter("rescache_misses_total")
+	mEvictions   = telemetry.NewCounter("rescache_evictions_total")
+	mDiskWrites  = telemetry.NewCounter("rescache_disk_writes_total")
+	mDiskErrors  = telemetry.NewCounter("rescache_disk_errors_total")
+	mShared      = telemetry.NewCounter("rescache_singleflight_shared_total")
+	mMemBytes    = telemetry.NewGauge("rescache_mem_bytes")
+	mMemEntries  = telemetry.NewGauge("rescache_mem_entries")
+	mComputeSecs = telemetry.NewHistogram("rescache_compute_seconds")
+)
+
+// Config bounds a cache.
+type Config struct {
+	// MaxEntries caps the in-memory LRU entry count; <= 0 selects 4096.
+	MaxEntries int
+	// MaxBytes caps the summed value size held in memory; <= 0 selects
+	// 256 MiB. Values larger than the whole budget are stored on disk (if
+	// configured) but not pinned in memory.
+	MaxBytes int64
+	// Dir, when non-empty, enables the disk tier: every stored value is
+	// also written under Dir (one file per key, written via temp+rename so
+	// readers never see partial content), and lookups fall back to it
+	// after an in-memory miss — including across process restarts, which
+	// is what makes daemon resume replay completed work instead of
+	// recomputing it.
+	Dir string
+}
+
+func (c Config) maxEntries() int {
+	if c.MaxEntries <= 0 {
+		return 4096
+	}
+	return c.MaxEntries
+}
+
+func (c Config) maxBytes() int64 {
+	if c.MaxBytes <= 0 {
+		return 256 << 20
+	}
+	return c.MaxBytes
+}
+
+// Cache is a content-addressed byte cache: an in-memory LRU in front of an
+// optional disk tier, with singleflight deduplication of concurrent
+// computations for the same key. All methods are safe for concurrent use.
+// Returned byte slices are shared and must be treated as read-only.
+type Cache struct {
+	cfg Config
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// New returns a cache with the given bounds, creating the disk directory
+// when one is configured.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("rescache: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		cfg:    cfg,
+		ll:     list.New(),
+		items:  map[string]*list.Element{},
+		flight: map[string]*flightCall{},
+	}, nil
+}
+
+// Get returns the cached value for key, consulting memory then disk. A
+// disk hit is promoted back into the memory LRU.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		mHits.Add(1)
+		return val, true
+	}
+	c.mu.Unlock()
+	if c.cfg.Dir != "" {
+		if val, err := os.ReadFile(c.diskPath(key)); err == nil {
+			mDiskHits.Add(1)
+			c.putMem(key, val)
+			return val, true
+		}
+	}
+	mMisses.Add(1)
+	return nil, false
+}
+
+// Put stores val under key in memory and, when configured, on disk.
+func (c *Cache) Put(key string, val []byte) {
+	c.putMem(key, val)
+	if c.cfg.Dir != "" {
+		if err := c.writeDisk(key, val); err != nil {
+			mDiskErrors.Add(1)
+		} else {
+			mDiskWrites.Add(1)
+		}
+	}
+}
+
+func (c *Cache) putMem(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.ll.Len() > 0 && (c.ll.Len() > c.cfg.maxEntries() || c.bytes > c.cfg.maxBytes()) {
+		back := c.ll.Back()
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.val))
+		mEvictions.Add(1)
+	}
+	mMemBytes.Set(float64(c.bytes))
+	mMemEntries.Set(float64(c.ll.Len()))
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Do returns the value for key, computing it at most once across all
+// concurrent callers: a cache hit (memory or disk) returns immediately;
+// otherwise the first caller runs compute while later identical callers
+// block and share its result. hit reports whether the value was served
+// without running compute in this call (a cache hit or a shared flight).
+// Errors are not cached — a later call retries the computation.
+func (c *Cache) Do(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	if val, ok := c.Get(key); ok {
+		return val, true, nil
+	}
+	c.flightMu.Lock()
+	if call, ok := c.flight[key]; ok {
+		c.flightMu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, false, call.err
+		}
+		mShared.Add(1)
+		return call.val, true, nil
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flight[key] = call
+	c.flightMu.Unlock()
+
+	// Recheck under flight ownership: a Put may have landed between the
+	// miss and the flight registration.
+	computed := false
+	if v, ok := c.Get(key); ok {
+		call.val = v
+	} else {
+		computed = true
+		t0 := telemetry.Now()
+		call.val, call.err = compute()
+		mComputeSecs.Since(t0)
+		if call.err == nil {
+			c.Put(key, call.val)
+		}
+	}
+	c.flightMu.Lock()
+	delete(c.flight, key)
+	c.flightMu.Unlock()
+	close(call.done)
+	return call.val, !computed, call.err
+}
+
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.cfg.Dir, key+".json")
+}
+
+func (c *Cache) writeDisk(key string, val []byte) error {
+	path := c.diskPath(key)
+	tmp, err := os.CreateTemp(c.cfg.Dir, "."+key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

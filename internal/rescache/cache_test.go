@@ -1,0 +1,213 @@
+package rescache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c, err := New(Config{MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", []byte("v"))
+	if v, ok := c.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := New(Config{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a") // refresh a: b becomes LRU
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+}
+
+func TestCacheByteBudget(t *testing.T) {
+	c, err := New(Config{MaxEntries: 100, MaxBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", make([]byte, 6))
+	c.Put("b", make([]byte, 6)) // 12 bytes total: a must go
+	if _, ok := c.Get("a"); ok {
+		t.Error("a should have been evicted by the byte budget")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Error("b should be resident")
+	}
+	// A single oversized value is not pinned in memory.
+	c.Put("big", make([]byte, 64))
+	if c.Len() != 0 {
+		t.Errorf("oversized value pinned: %d entries resident", c.Len())
+	}
+}
+
+func TestCacheDiskSpillAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{MaxEntries: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("va"))
+	c.Put("b", []byte("vb")) // evicts a from memory; disk copy remains
+	if v, ok := c.Get("a"); !ok || string(v) != "va" {
+		t.Fatalf("disk fallback failed: %q, %v", v, ok)
+	}
+
+	// A fresh cache over the same directory (a daemon restart) sees both.
+	c2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{"a": "va", "b": "vb"} {
+		if v, ok := c2.Get(k); !ok || string(v) != want {
+			t.Errorf("after restart, %s = %q, %v", k, v, ok)
+		}
+	}
+	// No temp droppings left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Errorf("unexpected file in cache dir: %s", e.Name())
+		}
+	}
+}
+
+func TestCacheDoComputesOnce(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	v, hit, err := c.Do("k", func() ([]byte, error) {
+		calls.Add(1)
+		return []byte("v"), nil
+	})
+	if err != nil || hit || string(v) != "v" {
+		t.Fatalf("first Do = %q hit=%v err=%v", v, hit, err)
+	}
+	v, hit, err = c.Do("k", func() ([]byte, error) {
+		calls.Add(1)
+		return nil, errors.New("must not run")
+	})
+	if err != nil || !hit || string(v) != "v" {
+		t.Fatalf("second Do = %q hit=%v err=%v", v, hit, err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times", calls.Load())
+	}
+}
+
+// Singleflight: concurrent identical keys share one computation.
+func TestCacheDoSingleflight(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 16
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]string, callers)
+	hits := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.Do("shared", func() ([]byte, error) {
+				computes.Add(1)
+				close(started)
+				<-release
+				return []byte("once"), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = string(v)
+			hits[i] = hit
+		}(i)
+	}
+	<-started // the winner is inside compute; everyone else must now wait
+	close(release)
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes.Load())
+	}
+	shared := 0
+	for i := range results {
+		if results[i] != "once" {
+			t.Errorf("caller %d got %q", i, results[i])
+		}
+		if hits[i] {
+			shared++
+		}
+	}
+	if shared != callers-1 {
+		t.Errorf("%d callers reported a shared/hit result, want %d", shared, callers-1)
+	}
+}
+
+// Errors are not cached: a failed computation is retried.
+func TestCacheDoErrorNotCached(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, hit, err := c.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(v) != "ok" {
+		t.Fatalf("retry = %q hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c, err := New(Config{MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%13)
+				want := "v" + k
+				v, _, err := c.Do(k, func() ([]byte, error) { return []byte("v" + k), nil })
+				if err != nil || string(v) != want {
+					t.Errorf("Do(%s) = %q, %v", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

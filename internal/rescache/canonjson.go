@@ -1,0 +1,147 @@
+// Package rescache is the content-addressed result cache behind the
+// evaluation service: results are keyed by a canonical hash of everything
+// that determines them (design/space parameters, solver configuration,
+// code version), held in a bounded in-memory LRU, optionally spilled to
+// disk, and deduplicated in flight so concurrent identical computations
+// share one execution.
+package rescache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CanonicalJSON encodes v as canonical JSON: object keys sorted
+// bytewise, no insignificant whitespace, and every number in a fixed
+// normal form — integers verbatim, everything else as the shortest
+// round-trip float64 representation (strconv 'g', precision -1, which Go
+// guarantees re-parses to the identical bits). Two values that encode the
+// same JSON data therefore produce the same bytes regardless of struct
+// field order, map iteration order, or the Go version that marshaled
+// them — the property cache keys need to stay stable across builds.
+//
+// NaN and infinities are rejected (json.Marshal already refuses them;
+// the number re-parse guards values arriving through pre-encoded
+// json.RawMessage too).
+func CanonicalJSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("rescache: canonical json: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return nil, fmt.Errorf("rescache: canonical json: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, tree); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeCanonical(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if x {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case string:
+		b, err := json.Marshal(x)
+		if err != nil {
+			return fmt.Errorf("rescache: canonical json: %w", err)
+		}
+		buf.Write(b)
+	case json.Number:
+		return writeCanonicalNumber(buf, x)
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeCanonical(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return fmt.Errorf("rescache: canonical json: %w", err)
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	default:
+		return fmt.Errorf("rescache: canonical json: unexpected decoded type %T", v)
+	}
+	return nil
+}
+
+// writeCanonicalNumber normalizes a JSON number. Integer literals pass
+// through verbatim (int64-scale values must not round-trip through
+// float64); anything with a fraction or exponent is renormalized to the
+// shortest representation of its float64 value.
+func writeCanonicalNumber(buf *bytes.Buffer, n json.Number) error {
+	s := string(n)
+	if !strings.ContainsAny(s, ".eE") {
+		buf.WriteString(s)
+		return nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("rescache: canonical json: number %q: %w", s, err)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("rescache: canonical json: non-finite number %q", s)
+	}
+	buf.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+	return nil
+}
+
+// Key hashes the canonical JSON of each part, in order, into one SHA-256
+// content address (hex). Parts are length-delimited by the encoding
+// itself plus a separator byte, so ("ab","c") and ("a","bc") cannot
+// collide. Typical use stacks a schema tag, the code version
+// (telemetry.BuildStamp) and the request/config fingerprints:
+//
+//	key, err := rescache.Key("sweep-point", SchemaVersion, stamp, cfg.CacheFingerprint())
+func Key(parts ...any) (string, error) {
+	h := sha256.New()
+	for _, p := range parts {
+		b, err := CanonicalJSON(p)
+		if err != nil {
+			return "", err
+		}
+		h.Write(b)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

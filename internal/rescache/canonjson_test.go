@@ -1,0 +1,137 @@
+package rescache
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalJSONSortsAndNormalizes(t *testing.T) {
+	got, err := CanonicalJSON(map[string]any{
+		"b":   2.50,
+		"a":   []any{1, "x", nil, true},
+		"c":   map[string]any{"z": 1e2, "y": 0.1},
+		"int": int64(9007199254740993), // 2^53+1: must not round-trip through float64
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a":[1,"x",null,true],"b":2.5,"c":{"y":0.1,"z":100},"int":9007199254740993}`
+	if string(got) != want {
+		t.Errorf("canonical json:\n got %s\nwant %s", got, want)
+	}
+}
+
+// Struct field order must not matter: two types carrying the same JSON
+// data canonicalize identically.
+func TestCanonicalJSONFieldOrderIndependent(t *testing.T) {
+	type ab struct {
+		A float64 `json:"a"`
+		B int     `json:"b"`
+	}
+	type ba struct {
+		B int     `json:"b"`
+		A float64 `json:"a"`
+	}
+	x, err := CanonicalJSON(ab{A: 0.3, B: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := CanonicalJSON(ba{B: 7, A: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(x) != string(y) {
+		t.Errorf("field order changed encoding: %s vs %s", x, y)
+	}
+}
+
+// Float normalization: the shortest-round-trip form must preserve bits.
+func TestCanonicalJSONFloatRoundTrip(t *testing.T) {
+	for _, f := range []float64{0.1, 1.0 / 3.0, math.Pi, 1e-300, 2.2250738585072014e-308, 6.62607015e-34, 123456789.123456789} {
+		b, err := CanonicalJSON(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back float64
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if math.Float64bits(back) != math.Float64bits(f) {
+			t.Errorf("float %v round-tripped to %v via %s", f, back, b)
+		}
+	}
+}
+
+func TestCanonicalJSONRejectsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := CanonicalJSON(v); err == nil {
+			t.Errorf("no error for %v", v)
+		}
+	}
+	// Pre-encoded RawMessage with an out-of-range literal must be caught
+	// by the number re-parse, not silently passed through.
+	if _, err := CanonicalJSON(json.RawMessage(`{"x":1e999}`)); err == nil {
+		t.Error("no error for out-of-range raw number")
+	}
+}
+
+// goldenRequest mirrors the job-request shape the server hashes. The
+// pinned digest below is the cache-key stability contract: if this test
+// fails, cache keys changed across Go versions or a canonicalization
+// change, and every cached result is silently invalidated — treat as a
+// schema bump, not a test to casually update.
+func goldenRequest() map[string]any {
+	return map[string]any{
+		"kind": "sweep",
+		"sweep": map[string]any{
+			"layers":          8,
+			"imbalance":       0.65,
+			"pad_fractions":   []float64{0.25, 0.5, 1.0},
+			"converter_count": []int{2, 4, 6, 8},
+			"tsvs":            []string{"dense", "sparse", "few"},
+			"grid_nx":         16,
+			"grid_ny":         16,
+		},
+		"seed": 1,
+	}
+}
+
+func TestKeyGolden(t *testing.T) {
+	const want = "6f104bba241cf157b6ba44c9b1fcc2e124cb31b24b0b016d706014eca8bab137"
+	got, err := Key("voltstack-job", 1, goldenRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("golden request key drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestKeyPartBoundaries(t *testing.T) {
+	a, err := Key("ab", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Key("a", "bc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("part boundaries do not affect the key")
+	}
+	c1, err := Key("ab", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c1 {
+		t.Error("identical parts hash differently")
+	}
+}
+
+func TestKeyErrorsOnUnencodable(t *testing.T) {
+	if _, err := Key(func() {}); err == nil || !strings.Contains(err.Error(), "json") {
+		t.Errorf("err = %v, want json encoding error", err)
+	}
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a vsserved instance. The zero HTTP client and poll
+// interval are usable defaults; only Base is required.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://localhost:8324".
+	Base string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Poll is the Wait polling interval; 0 selects 200ms.
+	Poll time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// APIError is a non-2xx response: the decoded error message plus the
+// status code (and Retry-After for 429s).
+type APIError struct {
+	StatusCode int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	var eb errorBody
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, MaxRequestBody)).Decode(&eb); derr == nil && eb.Error != "" {
+		apiErr.Message = eb.Error
+	} else {
+		apiErr.Message = resp.Status
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return nil, apiErr
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	resp, err := c.do(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job and returns its accepted status.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
+	var st JobStatus
+	body, err := json.Marshal(req)
+	if err != nil {
+		return st, err
+	}
+	err = c.doJSON(ctx, http.MethodPost, "/v1/jobs", body, &st)
+	return st, err
+}
+
+// Status fetches a job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches every job.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Result fetches the output bytes of a done job.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Cancel requests cancellation and returns the resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Evaluate fetches GET /v1/designs:evaluate with the given query
+// parameters and returns the design's canonical-JSON metrics.
+func (c *Client) Evaluate(ctx context.Context, params url.Values) ([]byte, error) {
+	path := "/v1/designs:evaluate"
+	if len(params) > 0 {
+		path += "?" + params.Encode()
+	}
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Wait polls until the job reaches a terminal state (or ctx expires).
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Run submits a job, waits for it and returns its result bytes. A failed
+// or cancelled job comes back as an error.
+func (c *Client) Run(ctx context.Context, req JobRequest) ([]byte, JobStatus, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, st, err
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil {
+		return nil, st, err
+	}
+	if st.State != StateDone {
+		if st.State == StateFailed {
+			return nil, st, fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+		}
+		return nil, st, fmt.Errorf("job %s %s", st.ID, st.State)
+	}
+	res, err := c.Result(ctx, st.ID)
+	return res, st, err
+}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxRequestBody bounds the accepted size of a job-request body. Requests
+// here are small parameter sets; anything near a megabyte is malformed or
+// hostile.
+const MaxRequestBody = 1 << 20
+
+// DecodeJobRequest reads one JSON job request, normalizes it and
+// validates it. Every failure mode — malformed JSON, unknown fields,
+// trailing data, oversize bodies, out-of-range or non-finite parameters —
+// comes back as an error suitable for a 400 body; the decoder never
+// panics on hostile input (FuzzDecodeJobRequest holds it to that).
+func DecodeJobRequest(r io.Reader) (*JobRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, MaxRequestBody+1))
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid job request: %s", decodeErrText(err))
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, errors.New("invalid job request: trailing data after the JSON object")
+	}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func decodeErrText(err error) string {
+	if err == io.EOF {
+		return "empty body"
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return "truncated JSON (body larger than the limit, or cut off)"
+	}
+	return err.Error()
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeJobRequest holds the request decoder to its contract on
+// arbitrary input: it never panics, every rejection carries a non-empty
+// message, and everything it accepts is normalized, re-validates cleanly,
+// carries only finite floats and hashes to a cache key.
+func FuzzDecodeJobRequest(f *testing.F) {
+	for _, seed := range []string{
+		`{"kind":"experiment","experiments":["table1","fig5a"]}`,
+		`{"kind":"experiment","experiments":["fig5a"],"csv":true,"coarse":true}`,
+		`{"kind":"sweep","sweep":{}}`,
+		`{"kind":"sweep","sweep":{"layers":4,"imbalance":0.3,"pad_fractions":[0.5],"converter_count":[2],"tsvs":["few"],"grid_nx":8}}`,
+		`{"kind":"em-mc","trials":100,"seed":7}`,
+		``,
+		`not json`,
+		`null`,
+		`[]`,
+		`{}`,
+		`{"kind":3}`,
+		`{"kind":"experiment","experiments":["nope"]}`,
+		`{"kind":"experiment","experiments":["thermal"],"csv":true}`,
+		`{"kind":"sweep"}`,
+		`{"kind":"sweep","sweep":{"layers":99}}`,
+		`{"kind":"sweep","sweep":{"imbalance":-0.5}}`,
+		`{"kind":"sweep","sweep":{"imbalance":1e999}}`,
+		`{"kind":"sweep","sweep":{"pad_fractions":[1e-400]}}`,
+		`{"kind":"sweep","sweep":{"tsvs":["dense","dense"]}}`,
+		`{"kind":"em-mc","trials":-1}`,
+		`{"kind":"em-mc","trials":1,"unknown_field":true}`,
+		`{"kind":"em-mc","trials":1} trailing`,
+		`{"kind":"em-mc","trials":1,"workers":-2}`,
+		`{"kind":"em-mc","trials":1,"seed":-9}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeJobRequest(bytes.NewReader(data))
+		if err != nil {
+			if err.Error() == "" {
+				t.Error("rejection with empty error message")
+			}
+			return
+		}
+		// Accepted requests must be fully normalized and stable under
+		// re-validation.
+		if verr := req.Validate(); verr != nil {
+			t.Errorf("accepted request fails re-validation: %v (input %q)", verr, data)
+		}
+		if req.Seed < 1 {
+			t.Errorf("accepted request has unnormalized seed %d", req.Seed)
+		}
+		if req.Kind == KindSweep {
+			s := req.Sweep
+			if s == nil || s.Imbalance == nil {
+				t.Fatalf("accepted sweep without spec/imbalance (input %q)", data)
+			}
+			if !isFinite(*s.Imbalance) {
+				t.Errorf("accepted non-finite imbalance (input %q)", data)
+			}
+			for _, pf := range s.PadFractions {
+				if !isFinite(pf) || pf <= 0 || pf > 1 {
+					t.Errorf("accepted out-of-range pad fraction %v (input %q)", pf, data)
+				}
+			}
+		}
+		if _, kerr := jobCacheKey(*req); kerr != nil {
+			t.Errorf("accepted request has no cache key: %v (input %q)", kerr, data)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -114,6 +115,37 @@ func NewManifest(binary string) *Manifest {
 	}
 	return m
 }
+
+// buildStamp is computed once: reading build info walks the module graph.
+var buildStamp = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				return rev + "+dirty"
+			}
+			return rev
+		}
+	}
+	return runtime.Version()
+})
+
+// BuildStamp identifies the code version of the running binary: the VCS
+// revision the Go toolchain baked in (the same value the manifest records
+// as vcs_revision), with a "+dirty" suffix when the tree was modified,
+// falling back to the Go version for unstamped builds (go test, go run).
+// The result cache folds this into every content-addressed key so results
+// computed by different code versions never alias.
+func BuildStamp() string { return buildStamp() }
 
 // AddSeed records a named RNG seed. Nil-safe.
 func (m *Manifest) AddSeed(name string, seed int64) {
