@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve fuzz golden profile metrics-demo provenance-demo serve-demo
+.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve bench-scaling fuzz golden profile metrics-demo provenance-demo serve-demo
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,17 @@ bench-parallel:
 
 # bench-solve measures the prepared-solve engine against the historical
 # rebuild-everything path (closed-loop solve, explore sweep slice, ext-em-mc)
-# and renders the fresh-vs-prepared speedups into BENCH_solve.json.
+# plus the multi-RHS serial-vs-batch scaling pairs, and renders the
+# fresh-vs-prepared and serial-vs-batch speedups into BENCH_solve.json.
 bench-solve:
-	$(GO) test -bench '^BenchmarkSolve' -run '^$$' -count 3 . | $(GO) run ./cmd/benchjson > BENCH_solve.json
+	$(GO) test -bench '^BenchmarkSolve' -run '^$$' -count 3 -timeout 60m . | $(GO) run ./cmd/benchjson > BENCH_solve.json
 	@cat BENCH_solve.json
+
+# bench-scaling runs only the multi-RHS node-count scaling pairs (batched
+# vs per-RHS setup+solve at 10k/100k/1M nodes; the 1M AMG point is skipped
+# under -short).
+bench-scaling:
+	$(GO) test -bench '^BenchmarkSolveScale' -run '^$$' -count 3 -timeout 60m . | $(GO) run ./cmd/benchjson
 
 # bench-telemetry compares the instrumented Fig. 5a driver with the metrics
 # registry disabled vs. enabled; the Off case bounds the always-on cost of
@@ -41,8 +48,14 @@ bench-solve:
 bench-telemetry:
 	$(GO) test -bench 'Fig5aTelemetry' -run '^$$' -count 5 .
 
+# fuzz runs every fuzz target for 30s: CSV parsing, job-request decoding,
+# the cache-fingerprint keying contract, and batch-vs-serial solver
+# equivalence. (`go test -fuzz` takes one target per invocation.)
 fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzParseCSV -fuzztime 30s
+	$(GO) test ./internal/server -run '^$$' -fuzz FuzzDecodeJobRequest -fuzztime 30s
+	$(GO) test ./internal/pdngrid -run '^$$' -fuzz FuzzCacheFingerprint -fuzztime 30s
+	$(GO) test ./internal/sparse/sparsetest -run '^$$' -fuzz FuzzBatchSerialEquivalence -fuzztime 30s
 
 # golden regenerates the pinned paper-number snapshots after a deliberate
 # model change.

@@ -44,13 +44,26 @@ type Pair struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// BatchPair couples a Serial benchmark with its Batch twin (the multi-RHS
+// scaling pairs); Nodes and Lanes carry the scaling-curve coordinates when
+// the benchmarks report them.
+type BatchPair struct {
+	Name     string  `json:"name"`
+	SerialNs float64 `json:"serial_ns_per_op"`
+	BatchNs  float64 `json:"batch_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+	Nodes    float64 `json:"nodes,omitempty"`
+	Lanes    float64 `json:"lanes,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
-	GoOS       string  `json:"goos,omitempty"`
-	GoArch     string  `json:"goarch,omitempty"`
-	CPU        string  `json:"cpu,omitempty"`
-	Benchmarks []Entry `json:"benchmarks"`
-	Pairs      []Pair  `json:"pairs"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Entry     `json:"benchmarks"`
+	Pairs      []Pair      `json:"pairs"`
+	BatchPairs []BatchPair `json:"batch_pairs,omitempty"`
 }
 
 func main() {
@@ -97,37 +110,44 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Pair *Fresh with *Prepared by common stem. When -count ran a
-	// benchmark several times, the mean ns/op of each variant is paired.
+	// Pair suffix-twinned variants by common stem: *Fresh with *Prepared
+	// (the prepared-engine pairs) and *Serial with *Batch (the multi-RHS
+	// scaling pairs). When -count ran a benchmark several times, the mean
+	// ns/op of each variant is paired; scaling metrics (nodes, lanes) take
+	// the last reported value.
 	type acc struct {
-		sum float64
-		n   int
+		sum     float64
+		n       int
+		metrics map[string]float64
 	}
-	fresh, prepared := map[string]*acc{}, map[string]*acc{}
-	order := []string{}
-	add := func(m map[string]*acc, stem string, ns float64) {
+	add := func(m map[string]*acc, order *[]string, other map[string]*acc, stem string, e Entry) {
 		a := m[stem]
 		if a == nil {
+			if other[stem] == nil {
+				*order = append(*order, stem)
+			}
 			a = &acc{}
 			m[stem] = a
 		}
-		a.sum += ns
+		a.sum += e.NsPerOp
 		a.n++
+		if e.Metrics != nil {
+			a.metrics = e.Metrics
+		}
 	}
+	fresh, prepared := map[string]*acc{}, map[string]*acc{}
+	serial, batch := map[string]*acc{}, map[string]*acc{}
+	var order, batchOrder []string
 	for _, e := range rep.Benchmarks {
 		switch {
 		case strings.HasSuffix(e.Name, "Fresh"):
-			stem := strings.TrimSuffix(e.Name, "Fresh")
-			if fresh[stem] == nil && prepared[stem] == nil {
-				order = append(order, stem)
-			}
-			add(fresh, stem, e.NsPerOp)
+			add(fresh, &order, prepared, strings.TrimSuffix(e.Name, "Fresh"), e)
 		case strings.HasSuffix(e.Name, "Prepared"):
-			stem := strings.TrimSuffix(e.Name, "Prepared")
-			if fresh[stem] == nil && prepared[stem] == nil {
-				order = append(order, stem)
-			}
-			add(prepared, stem, e.NsPerOp)
+			add(prepared, &order, fresh, strings.TrimSuffix(e.Name, "Prepared"), e)
+		case strings.HasSuffix(e.Name, "Serial"):
+			add(serial, &batchOrder, batch, strings.TrimSuffix(e.Name, "Serial"), e)
+		case strings.HasSuffix(e.Name, "Batch"):
+			add(batch, &batchOrder, serial, strings.TrimSuffix(e.Name, "Batch"), e)
 		}
 	}
 	for _, stem := range order {
@@ -142,6 +162,24 @@ func main() {
 			PreparedNs: pm,
 			Speedup:    fm / pm,
 		})
+	}
+	for _, stem := range batchOrder {
+		s, bt := serial[stem], batch[stem]
+		if s == nil || bt == nil || s.n == 0 || bt.n == 0 {
+			continue
+		}
+		sm, bm := s.sum/float64(s.n), bt.sum/float64(bt.n)
+		bp := BatchPair{
+			Name:     stem,
+			SerialNs: sm,
+			BatchNs:  bm,
+			Speedup:  sm / bm,
+		}
+		if s.metrics != nil {
+			bp.Nodes = s.metrics["nodes"]
+			bp.Lanes = s.metrics["lanes"]
+		}
+		rep.BatchPairs = append(rep.BatchPairs, bp)
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -168,6 +168,10 @@ const (
 	// DirectSparseND uses the general sparse Cholesky factorization with
 	// nested-dissection ordering — lower memory than Direct on 3D meshes.
 	DirectSparseND
+	// PCGAMG uses conjugate gradients with an aggregation-based algebraic
+	// multigrid preconditioner — near-mesh-independent iteration counts on
+	// grids where IC(0) stalls.
+	PCGAMG
 )
 
 // SolveOptions tunes the linear solve. The zero value is a good default.
@@ -179,6 +183,13 @@ type SolveOptions struct {
 
 // directThreshold is the node count below which Auto picks the direct solver.
 const directThreshold = 4000
+
+// amgThreshold is the node count above which Auto switches from IC(0) to
+// AMG preconditioning: IC(0)'s iteration count grows with mesh diameter
+// while the multigrid V-cycle keeps it near-constant, and past a few
+// hundred thousand nodes that crossover dominates the higher per-iteration
+// cost of the V-cycle.
+const amgThreshold = 200_000
 
 // ErrFloating is returned when the network has no DC path from some node to
 // ground or a rail, which makes the conductance matrix singular.
@@ -255,10 +266,13 @@ func (n *Netlist) CheckConnectivity() error {
 func (o SolveOptions) resolve(nn int) (kind SolverKind, tol float64, maxIter int) {
 	kind = o.Solver
 	if kind == Auto {
-		if nn <= directThreshold {
+		switch {
+		case nn <= directThreshold:
 			kind = Direct
-		} else {
+		case nn <= amgThreshold:
 			kind = PCGIC0
+		default:
+			kind = PCGAMG
 		}
 	}
 	tol = o.Tol
@@ -372,16 +386,24 @@ func (n *Netlist) Solve(opts SolveOptions) (*Solution, error) {
 			return nil, wrapSPD(err)
 		}
 		sol.v = f.Solve(rhs)
-	case PCGIC0, PCGJacobi:
+	case PCGIC0, PCGJacobi, PCGAMG:
 		var prec sparse.Preconditioner
-		if kind == PCGIC0 {
-			ic, err := sparse.NewIC0(a)
-			if err != nil {
-				prec = sparse.NewJacobi(a)
-			} else {
+		switch kind {
+		case PCGIC0:
+			if ic, err := sparse.NewIC0(a); err == nil {
 				prec = ic
+			} else {
+				prec = sparse.NewJacobi(a)
 			}
-		} else {
+		case PCGAMG:
+			// Mirror the IC(0) discipline: a hierarchy build failure falls
+			// back to Jacobi rather than failing the solve.
+			if mg, err := sparse.NewAMG(a, sparse.AMGOptions{}); err == nil {
+				prec = mg
+			} else {
+				prec = sparse.NewJacobi(a)
+			}
+		default:
 			prec = sparse.NewJacobi(a)
 		}
 		x, res, err := sparse.PCG(a, rhs, nil, prec, tol, maxIter)

@@ -87,8 +87,11 @@ type Prepared struct {
 	icSym  *sparse.IC0Symbolic
 	icF    *sparse.IC0Prec
 	icOK   bool
+	amg    *sparse.AMGPrec
+	amgOK  bool
 	jac    *sparse.JacobiPrec
 	ws     *sparse.PCGWorkspace
+	bws    *sparse.PCGBatchWorkspace // lazily built by SolveBatch
 
 	valsDirty bool // element values changed since last restamp
 	factored  bool // current factorization matches current values
@@ -127,6 +130,7 @@ func (p *Prepared) compile() error {
 	p.skySym, p.skyF = nil, nil
 	p.ndSym, p.ndF = nil, nil
 	p.icSym, p.icF, p.icOK = nil, nil, false
+	p.amg, p.amgOK = nil, false
 	p.jac = nil
 	p.factored = false
 	p.valsDirty = false
@@ -162,7 +166,9 @@ func (p *Prepared) compile() error {
 			p.icSym = sym
 		}
 		p.ws = sparse.NewPCGWorkspace(nn)
-	case PCGJacobi:
+	case PCGJacobi, PCGAMG:
+		// AMG has no symbolic/numeric split: the hierarchy depends on the
+		// matrix values, so it is (re)built whole in refactor.
 		p.ws = sparse.NewPCGWorkspace(nn)
 	default:
 		return fmt.Errorf("circuit: unknown solver kind %d", p.kind)
@@ -245,16 +251,8 @@ func (p *Prepared) InvalidateValues() { p.valsDirty = true }
 // returned Solution is bit-identical to a fresh Netlist.Solve.
 func (p *Prepared) Solve(x0 []float64) (*Solution, error) {
 	mPrepSolves.Add(1)
-	if p.structureChanged() {
-		mPrepRecompiles.Add(1)
-		if telemetry.EventsEnabled() {
-			telemetry.Event(slog.LevelInfo, "circuit: prepared engine recompile",
-				slog.String("cause", "structure sentinel"),
-				slog.Int("nodes", p.nNodes))
-		}
-		if err := p.compile(); err != nil {
-			return nil, err
-		}
+	if err := p.ensureCurrent(); err != nil {
+		return nil, err
 	}
 	n := p.net
 	nn := p.nNodes
@@ -264,34 +262,6 @@ func (p *Prepared) Solve(x0 []float64) (*Solution, error) {
 	if x0 != nil && len(x0) != nn {
 		panic(fmt.Sprintf("circuit: warm start length %d, want %d nodes", len(x0), nn))
 	}
-
-	if p.valsDirty {
-		mPrepRestamps.Add(1)
-		w := &valueWriter{dst: p.coo}
-		n.stampMatrix(w)
-		if w.bad || w.pos != len(p.coo) {
-			// Structure drifted in a way the sentinels missed; rebuild.
-			mPrepRecompiles.Add(1)
-			if telemetry.EventsEnabled() {
-				telemetry.Event(slog.LevelWarn, "circuit: prepared engine recompile",
-					slog.String("cause", "value-stream drift"),
-					slog.Int("nodes", p.nNodes))
-			}
-			if err := p.compile(); err != nil {
-				return nil, err
-			}
-		} else {
-			p.am.Fold(p.coo, p.a.Values())
-			p.valsDirty = false
-			p.factored = false
-		}
-	}
-	if !p.factored {
-		if err := p.refactor(); err != nil {
-			return nil, err
-		}
-		p.factored = true
-	}
 	n.stampRHS(p.rhs)
 
 	sol := &Solution{net: n}
@@ -300,13 +270,8 @@ func (p *Prepared) Solve(x0 []float64) (*Solution, error) {
 		sol.v = p.skyF.Solve(p.rhs)
 	case DirectSparseND:
 		sol.v = p.ndF.Solve(p.rhs)
-	case PCGIC0, PCGJacobi:
-		var prec sparse.Preconditioner
-		if p.kind == PCGIC0 && p.icOK {
-			prec = p.icF
-		} else {
-			prec = p.jac
-		}
+	case PCGIC0, PCGJacobi, PCGAMG:
+		prec := p.preconditioner()
 		if x0 != nil {
 			mPrepWarmStarts.Add(1)
 		}
@@ -321,6 +286,55 @@ func (p *Prepared) Solve(x0 []float64) (*Solution, error) {
 		return nil, fmt.Errorf("circuit: unknown solver kind %d", p.kind)
 	}
 	return sol, nil
+}
+
+// ensureCurrent brings the engine in sync with the netlist: recompile on
+// structure drift, restamp matrix values if dirty, and renew the numeric
+// factorization. After it returns nil the cached factor matches the
+// netlist's current matrix-bearing values.
+func (p *Prepared) ensureCurrent() error {
+	if p.structureChanged() {
+		mPrepRecompiles.Add(1)
+		if telemetry.EventsEnabled() {
+			telemetry.Event(slog.LevelInfo, "circuit: prepared engine recompile",
+				slog.String("cause", "structure sentinel"),
+				slog.Int("nodes", p.nNodes))
+		}
+		if err := p.compile(); err != nil {
+			return err
+		}
+	}
+	if p.nNodes == 0 {
+		return nil
+	}
+	if p.valsDirty {
+		mPrepRestamps.Add(1)
+		w := &valueWriter{dst: p.coo}
+		p.net.stampMatrix(w)
+		if w.bad || w.pos != len(p.coo) {
+			// Structure drifted in a way the sentinels missed; rebuild.
+			mPrepRecompiles.Add(1)
+			if telemetry.EventsEnabled() {
+				telemetry.Event(slog.LevelWarn, "circuit: prepared engine recompile",
+					slog.String("cause", "value-stream drift"),
+					slog.Int("nodes", p.nNodes))
+			}
+			if err := p.compile(); err != nil {
+				return err
+			}
+		} else {
+			p.am.Fold(p.coo, p.a.Values())
+			p.valsDirty = false
+			p.factored = false
+		}
+	}
+	if !p.factored {
+		if err := p.refactor(); err != nil {
+			return err
+		}
+		p.factored = true
+	}
+	return nil
 }
 
 // refactor renews the numeric factorization (or preconditioner) on the
@@ -350,8 +364,33 @@ func (p *Prepared) refactor() error {
 		if !p.icOK {
 			p.jac = sparse.NewJacobi(p.a)
 		}
+	case PCGAMG:
+		// The hierarchy is value-dependent, so it is rebuilt from the
+		// restamped matrix — exactly what the fresh path computes, keeping
+		// prepared ≡ fresh bit-identical.
+		p.amg, p.amgOK = nil, false
+		if mg, err := sparse.NewAMG(p.a, sparse.AMGOptions{}); err == nil {
+			p.amg = mg
+			p.amgOK = true
+		}
+		if !p.amgOK {
+			p.jac = sparse.NewJacobi(p.a)
+		}
 	case PCGJacobi:
 		p.jac = sparse.NewJacobi(p.a)
 	}
 	return nil
+}
+
+// preconditioner returns the active preconditioner for the compiled
+// iterative kind, honoring the per-kind fallback to Jacobi.
+func (p *Prepared) preconditioner() sparse.Preconditioner {
+	switch {
+	case p.kind == PCGIC0 && p.icOK:
+		return p.icF
+	case p.kind == PCGAMG && p.amgOK:
+		return p.amg
+	default:
+		return p.jac
+	}
 }

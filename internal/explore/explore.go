@@ -163,22 +163,24 @@ func (s Space) Evaluate(d Design) (*Metrics, error) {
 		return nil, err
 	}
 	cores := s.Chip.NumCores()
-	var acts [][]float64
+	// EM evaluation always uses the all-active point; V-S noise uses the
+	// interleaved imbalance pattern. The two scenarios differ only in load
+	// currents (RHS), so they go through one batched solve sharing a single
+	// factorization — bit-identical to two serial Solve calls.
+	var r, rEM *pdngrid.Result
+	uniform := pdngrid.UniformActivities(s.Layers, cores, 1)
 	if d.Kind == pdngrid.VoltageStacked {
-		acts = pdngrid.InterleavedActivities(s.Layers, cores, s.Imbalance)
-	} else {
-		acts = pdngrid.UniformActivities(s.Layers, cores, 1) // worst case
-	}
-	r, err := p.Solve(acts)
-	if err != nil {
-		return nil, err
-	}
-	// EM evaluation always uses the all-active point.
-	rEM := r
-	if d.Kind == pdngrid.VoltageStacked {
-		if rEM, err = p.Solve(pdngrid.UniformActivities(s.Layers, cores, 1)); err != nil {
+		acts := pdngrid.InterleavedActivities(s.Layers, cores, s.Imbalance)
+		rs, err := p.SolveBatch([][][]float64{acts, uniform})
+		if err != nil {
 			return nil, err
 		}
+		r, rEM = rs[0], rs[1]
+	} else {
+		if r, err = p.Solve(uniform); err != nil { // worst case
+			return nil, err
+		}
+		rEM = r
 	}
 	tempK := units.CelsiusToKelvin(s.Params.TempCelsius)
 	life := func(currents []float64, bp em.BlackParams) (float64, error) {

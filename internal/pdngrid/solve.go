@@ -128,25 +128,9 @@ func InterleavedActivities(layers, cores int, imbalance float64) [][]float64 {
 // rebuild-everything path.
 func (p *PDN) Solve(activities [][]float64) (*Result, error) {
 	cfg := p.Cfg
-	if len(activities) != cfg.Layers {
-		return nil, fmt.Errorf("pdngrid: need %d layers of activities, got %d", cfg.Layers, len(activities))
-	}
-
-	// Rasterize each layer's power map into per-cell load currents.
-	loads := make([][]float64, cfg.Layers)
-	for l := range activities {
-		pm, err := cfg.Chip.PowerMap(activities[l])
-		if err != nil {
-			return nil, fmt.Errorf("pdngrid: layer %d: %w", l, err)
-		}
-		cells, err := p.raster.Distribute(p.fp.Blocks, pm)
-		if err != nil {
-			return nil, err
-		}
-		for i := range cells {
-			cells[i] /= cfg.Params.Vdd // watts -> amperes at nominal Vdd
-		}
-		loads[l] = cells
+	loads, err := p.rasterizeLoads(activities)
+	if err != nil {
+		return nil, err
 	}
 
 	// Converter frequencies: open loop uses the nominal frequency; closed
@@ -169,6 +153,32 @@ func (p *PDN) Solve(activities [][]float64) (*Result, error) {
 		return p.solveFresh(loads, freqs, ctrl, maxOuter)
 	}
 	return p.solvePrepared(loads, freqs, ctrl, maxOuter)
+}
+
+// rasterizeLoads converts per-layer, per-core activity factors into
+// per-layer, per-cell load currents at nominal Vdd. activities must be
+// Layers x NumCores.
+func (p *PDN) rasterizeLoads(activities [][]float64) ([][]float64, error) {
+	cfg := p.Cfg
+	if len(activities) != cfg.Layers {
+		return nil, fmt.Errorf("pdngrid: need %d layers of activities, got %d", cfg.Layers, len(activities))
+	}
+	loads := make([][]float64, cfg.Layers)
+	for l := range activities {
+		pm, err := cfg.Chip.PowerMap(activities[l])
+		if err != nil {
+			return nil, fmt.Errorf("pdngrid: layer %d: %w", l, err)
+		}
+		cells, err := p.raster.Distribute(p.fp.Blocks, pm)
+		if err != nil {
+			return nil, err
+		}
+		for i := range cells {
+			cells[i] /= cfg.Params.Vdd // watts -> amperes at nominal Vdd
+		}
+		loads[l] = cells
+	}
+	return loads, nil
 }
 
 // solveFresh is the historical solve loop: every outer pass rebuilds the

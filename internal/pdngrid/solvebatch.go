@@ -1,0 +1,128 @@
+// Batched PDN solves: many activity patterns against one prepared engine.
+// Sweep evaluation and Monte Carlo layers solve the same placed PDN under
+// different load vectors; since loads are RHS-only elements (the network
+// structure stamps every cell's load unconditionally), a whole batch
+// shares one structure compile, one value restamp, and one numeric
+// factorization or preconditioner.
+package pdngrid
+
+import (
+	"fmt"
+
+	"voltstack/internal/sc"
+	"voltstack/internal/telemetry"
+)
+
+var (
+	mBatchSolves = telemetry.NewCounter("pdngrid_batch_solves_total")
+	mBatchLanes  = telemetry.NewCounter("pdngrid_batch_lanes_total")
+)
+
+// SolveBatch solves the PDN once per activity matrix in the batch and
+// returns one Result per entry, equivalent to (and in open loop
+// bit-identical to) calling Solve on each entry in order. Entry i of the
+// batch must be Layers x NumCores like Solve's argument.
+func (p *PDN) SolveBatch(batch [][][]float64) ([]*Result, error) {
+	return p.SolveBatchWorkers(batch, 0)
+}
+
+// SolveBatchWorkers is SolveBatch with the independent solve lanes
+// distributed over a pool of the given size (< 1 selects the default).
+//
+// The batched fast path applies in open loop on the prepared engine: the
+// matrix is identical across entries (loads are RHS-only), so one
+// restamp+refactor serves all lanes and each lane is bit-identical to a
+// serial Solve of its entry for any worker count. Closed-loop control and
+// ForceFreshSolve fall back to serial Solve calls per entry — closed-loop
+// outer iterations give every entry a distinct converter operating point
+// (a distinct matrix), which has no shared factorization to amortize.
+func (p *PDN) SolveBatchWorkers(batch [][][]float64, workers int) ([]*Result, error) {
+	cfg := p.Cfg
+	k := len(batch)
+	if k == 0 {
+		return nil, nil
+	}
+	mBatchSolves.Add(1)
+	mBatchLanes.Add(int64(k))
+
+	closedLoop := false
+	if cfg.Control != nil {
+		if _, open := cfg.Control.(sc.OpenLoop); !open {
+			closedLoop = true
+		}
+	}
+	if cfg.ForceFreshSolve || closedLoop {
+		out := make([]*Result, k)
+		for i, acts := range batch {
+			r, err := p.Solve(acts)
+			if err != nil {
+				return nil, fmt.Errorf("pdngrid: batch entry %d: %w", i, err)
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	loads := make([][][]float64, k)
+	for i, acts := range batch {
+		ld, err := p.rasterizeLoads(acts)
+		if err != nil {
+			return nil, fmt.Errorf("pdngrid: batch entry %d: %w", i, err)
+		}
+		loads[i] = ld
+	}
+	freqs := make([]float64, p.ConverterCount())
+	for i := range freqs {
+		freqs[i] = cfg.Converter.FSw
+	}
+
+	sp := telemetry.StartSpan("pdngrid.solve-batch")
+	defer sp.End()
+
+	eng := p.takeEngine()
+	if eng == nil {
+		spA := sp.Start("assemble")
+		tA := telemetry.Now()
+		asm := p.assemble(loads[0], freqs, nil)
+		prep, err := asm.net.Compile(cfg.Solve)
+		mAssembleSeconds.Since(tA)
+		spA.End()
+		if err != nil {
+			return nil, fmt.Errorf("pdngrid: %w", err)
+		}
+		eng = &engine{asm: asm, prep: prep}
+		mEngineBuilds.Add(1)
+	} else {
+		mEngineReuses.Add(1)
+		spA := sp.Start("restamp")
+		tA := telemetry.Now()
+		eng.applyConverters(cfg, freqs)
+		mAssembleSeconds.Since(tA)
+		spA.End()
+	}
+	defer p.putEngine(eng)
+
+	spS := sp.Start("linear-solve")
+	tS := telemetry.Now()
+	sols, err := eng.prep.SolveBatch(k, func(i int) {
+		eng.applyLoads(loads[i], p.nCells)
+	}, nil, workers)
+	mSolveSeconds.Since(tS)
+	spS.End()
+	if err != nil {
+		return nil, solveFailure(0, eng.asm.net.NumNodes(), false, nil, err)
+	}
+
+	out := make([]*Result, k)
+	for i, sol := range sols {
+		// Element-level queries in extractResult (LoadPower, …) read live
+		// netlist values, so entry i's loads must be active while its
+		// Result is derived.
+		eng.applyLoads(loads[i], p.nCells)
+		out[i] = p.extractResult(eng.asm, sol)
+		mSolves.Add(1)
+		mNodesHist.Observe(float64(eng.asm.net.NumNodes()))
+	}
+	mOuterIters.Add(int64(k))
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package pdngrid
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Golden load-step waveforms: the transient solver's droop response for a
+// table of representative scenarios is pinned bit-for-bit (%.17g round-trips
+// float64 exactly). Solver work — batching, preconditioner changes, new
+// orderings — must not move these waveforms; a deliberate model change
+// regenerates them with
+//
+//	go test ./internal/pdngrid -run TestTransientGoldenWaveforms -update
+var updateTransientGolden = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// transientGoldenCases is the scenario table. Short runs and a coarse
+// subsample keep the files small while still spanning the first droop,
+// the ring-down, and the approach to the settled level.
+var transientGoldenCases = []struct {
+	name   string
+	cfg    func() Config
+	mutate func(*TransientConfig)
+}{
+	{
+		name: "regular-2layer-dense",
+		cfg:  func() Config { return regularCfg(2, DenseTSV()) },
+	},
+	{
+		name: "regular-3layer-sparse",
+		cfg:  func() Config { return regularCfg(3, SparseTSV()) },
+	},
+	{
+		name: "vs-3layer",
+		cfg:  func() Config { return vsCfg(3, 4) },
+	},
+	{
+		name:   "regular-2layer-big-decap",
+		cfg:    func() Config { return regularCfg(2, DenseTSV()) },
+		mutate: func(tc *TransientConfig) { tc.DecapPerArea *= 5 },
+	},
+	{
+		name:   "regular-2layer-gentle-step",
+		cfg:    func() Config { return regularCfg(2, DenseTSV()) },
+		mutate: func(tc *TransientConfig) { tc.RestActivity, tc.StepActivity = 0.5, 0.8 },
+	},
+}
+
+func goldenTransientConfig() TransientConfig {
+	tc := DefaultTransient()
+	tc.Steps = 240
+	return tc
+}
+
+// formatWaveform renders a TransientResult as a stable text snapshot:
+// scalar summary lines plus every 8th waveform sample, all floats printed
+// with %.17g so the comparison is exact at the bit level.
+func formatWaveform(r *TransientResult) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "worst_droop_frac %.17g\n", r.WorstDroopFrac)
+	fmt.Fprintf(&b, "worst_layer %d\n", r.WorstLayer)
+	fmt.Fprintf(&b, "final_droop_frac %.17g\n", r.FinalDroopFrac)
+	fmt.Fprintf(&b, "samples %d\n", len(r.Times))
+	for k := 0; k < len(r.Times); k += 8 {
+		fmt.Fprintf(&b, "%.17g %.17g\n", r.Times[k], r.Droop[k])
+	}
+	return []byte(b.String())
+}
+
+func TestTransientGoldenWaveforms(t *testing.T) {
+	for _, tc := range transientGoldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := New(tc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			trc := goldenTransientConfig()
+			if tc.mutate != nil {
+				tc.mutate(&trc)
+			}
+			r, err := p.SolveTransient(trc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := formatWaveform(r)
+			path := filepath.Join("testdata", "golden", "transient-"+tc.name+".txt")
+			if *updateTransientGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file %s — run `go test ./internal/pdngrid -run TestTransientGoldenWaveforms -update` (%v)", path, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s drifted from golden waveform.\n--- got ---\n%s--- want ---\n%s", tc.name, got, want)
+			}
+		})
+	}
+}
+
+// TestTransientConcurrentSolves exercises SolveTransient from parallel
+// goroutines against one PDN (run under -race in CI). The transient path
+// assembles a fresh netlist per call, so concurrent runs must neither race
+// nor perturb each other's waveforms.
+func TestTransientConcurrentSolves(t *testing.T) {
+	p, err := New(regularCfg(2, DenseTSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := goldenTransientConfig()
+	tc.Steps = 60
+	ref, err := p.SolveTransient(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 4
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r, err := p.SolveTransient(tc)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !bytes.Equal(formatWaveform(r), formatWaveform(ref)) {
+				errs[g] = fmt.Errorf("goroutine %d: waveform diverged from serial reference", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Aggregation-based algebraic multigrid, used as a PCG preconditioner for
+// grids beyond the reach of IC(0). Conductance matrices of many-layer PDNs
+// are weakly diagonally dominant M-matrices, the textbook-friendly case for
+// unsmoothed pairwise aggregation: greedy strongest-neighbor pairing builds
+// the aggregates, the Galerkin triple product PᵀAP builds each coarse
+// operator (SPD whenever A is, since P has full column rank), and one
+// symmetric V-cycle — equal weighted-Jacobi pre/post sweeps around a direct
+// skyline solve on the coarsest level — serves as the preconditioner
+// application. Equal sweep counts keep M⁻¹ symmetric positive definite,
+// which PCG requires; ω = 2/3 damps the upper half of the Jacobi spectrum
+// safely because λmax(D⁻¹A) ≤ 2 for weakly diagonally dominant A.
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"voltstack/internal/telemetry"
+)
+
+var (
+	mAMGBuilds = telemetry.NewCounter("sparse_amg_builds_total")
+	mAMGLevels = telemetry.NewHistogram("sparse_amg_levels")
+)
+
+// AMGOptions tunes the multigrid hierarchy. The zero value selects the
+// defaults noted per field.
+type AMGOptions struct {
+	MaxLevels  int     // hierarchy depth cap, including the coarsest (default 25)
+	CoarseSize int     // stop coarsening at or below this many unknowns (default 64)
+	PreSmooth  int     // weighted-Jacobi sweeps before coarse correction (default 1)
+	PostSmooth int     // sweeps after; keep equal to PreSmooth for symmetry (default 1)
+	Omega      float64 // Jacobi damping factor (default 2/3)
+}
+
+func (o AMGOptions) withDefaults() AMGOptions {
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 25
+	}
+	if o.CoarseSize <= 0 {
+		o.CoarseSize = 64
+	}
+	if o.PreSmooth <= 0 {
+		o.PreSmooth = 1
+	}
+	if o.PostSmooth <= 0 {
+		o.PostSmooth = 1
+	}
+	if o.Omega <= 0 {
+		o.Omega = 2.0 / 3.0
+	}
+	return o
+}
+
+// amgLevel is one non-coarsest level of the hierarchy: its operator, the
+// inverse diagonal for Jacobi smoothing, and the aggregate index of every
+// unknown on the next coarser level. All fields are immutable after
+// construction, so levels are shared between scratch forks.
+type amgLevel struct {
+	a       *CSR
+	invDiag []float64
+	agg     []int32
+	nc      int
+}
+
+// AMGPrec is an aggregation-AMG preconditioner: Apply runs one symmetric
+// V-cycle on the hierarchy. The hierarchy (levels, coarse factor) is
+// immutable and shared by forks; the per-level scratch vectors are owned
+// per instance, so a single AMGPrec must not Apply concurrently with
+// itself but scratch forks may run in parallel.
+type AMGPrec struct {
+	levels []*amgLevel
+	coarse *SkylineChol
+	opts   AMGOptions
+	ns     []int // unknowns per level, finest first, coarsest last
+	// V-cycle scratch, one vector per level: xs/bs carry the coarse-level
+	// iterate and right-hand side (index 0 unused — the finest-level pair
+	// is the caller's r/z), rs the smoothing/restriction residual.
+	xs, bs, rs [][]float64
+}
+
+// NewAMG builds the multigrid hierarchy for the SPD matrix a. The matrix
+// is captured by reference for the finest-level smoother; mutating its
+// values afterwards invalidates the preconditioner (rebuild instead, as
+// with the other factorizations in this package).
+func NewAMG(a *CSR, opts AMGOptions) (*AMGPrec, error) {
+	t0 := telemetry.Now()
+	defer func() { mPrecondBuilds.Add(1); mPrecondSeconds.Since(t0) }()
+	opts = opts.withDefaults()
+	p := &AMGPrec{opts: opts, ns: []int{a.N()}}
+	cur := a
+	for cur.N() > opts.CoarseSize && len(p.levels)+1 < opts.MaxLevels {
+		lvl, coarseA, err := coarsenPairwise(cur)
+		if err != nil {
+			return nil, err
+		}
+		if lvl == nil {
+			break // no coarsening progress; factor what we have
+		}
+		p.levels = append(p.levels, lvl)
+		p.ns = append(p.ns, lvl.nc)
+		cur = coarseA
+	}
+	f, err := FactorCholesky(cur)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: AMG coarse factorization (n=%d): %w", cur.N(), err)
+	}
+	p.coarse = f
+	p.allocScratch()
+	mAMGBuilds.Add(1)
+	mAMGLevels.Observe(float64(len(p.ns)))
+	return p, nil
+}
+
+// Levels returns the hierarchy depth, counting the coarsest level.
+func (p *AMGPrec) Levels() int { return len(p.ns) }
+
+// CoarseN returns the number of unknowns on the directly-solved coarsest
+// level.
+func (p *AMGPrec) CoarseN() int { return p.ns[len(p.ns)-1] }
+
+func (p *AMGPrec) allocScratch() {
+	depth := len(p.ns)
+	p.xs = make([][]float64, depth)
+	p.bs = make([][]float64, depth)
+	p.rs = make([][]float64, depth)
+	for ell, n := range p.ns {
+		if ell > 0 {
+			p.xs[ell] = make([]float64, n)
+			p.bs[ell] = make([]float64, n)
+		}
+		if ell < len(p.levels) {
+			p.rs[ell] = make([]float64, n)
+		}
+	}
+}
+
+// forkScratch returns a view sharing the immutable hierarchy but owning
+// fresh V-cycle scratch, so forks can Apply concurrently.
+func (p *AMGPrec) forkScratch() Preconditioner {
+	q := *p
+	q.allocScratch()
+	return &q
+}
+
+// coarsenPairwise aggregates the unknowns of a by greedy strongest-
+// connection pairing (each unvisited node pairs with its largest-|a_ij|
+// unaggregated neighbor; isolated leftovers become singletons) and returns
+// the level plus the Galerkin coarse operator PᵀAP. A nil level signals
+// that no coarsening progress was possible.
+func coarsenPairwise(a *CSR) (*amgLevel, *CSR, error) {
+	n := a.N()
+	invDiag := make([]float64, n)
+	for i, d := range a.Diag() {
+		if d <= 0 {
+			return nil, nil, fmt.Errorf("sparse: AMG: non-positive diagonal at row %d (value %g): %w", i, d, ErrNotPositiveDefinite)
+		}
+		invDiag[i] = 1 / d
+	}
+	agg := make([]int32, n)
+	for i := range agg {
+		agg[i] = -1
+	}
+	nc := 0
+	for i := 0; i < n; i++ {
+		if agg[i] >= 0 {
+			continue
+		}
+		best, bestV := -1, 0.0
+		a.Row(i, func(j int, v float64) {
+			if j != i && agg[j] < 0 {
+				if av := math.Abs(v); av > bestV {
+					bestV = av
+					best = j
+				}
+			}
+		})
+		agg[i] = int32(nc)
+		if best >= 0 {
+			agg[best] = int32(nc)
+		}
+		nc++
+	}
+	if nc >= n {
+		return nil, nil, nil // every aggregate is a singleton: no progress
+	}
+	// Galerkin product PᵀAP for piecewise-constant P: entry (i,j,v) of A
+	// accumulates into coarse entry (agg[i], agg[j]); the builder sums
+	// duplicates exactly as circuit stamping does.
+	cb := NewBuilder(nc)
+	for i := 0; i < n; i++ {
+		a.Row(i, func(j int, v float64) {
+			cb.Add(int(agg[i]), int(agg[j]), v)
+		})
+	}
+	return &amgLevel{a: a, invDiag: invDiag, agg: agg, nc: nc}, cb.ToCSR(), nil
+}
+
+// smoothFromZero performs `sweeps` weighted-Jacobi sweeps starting from the
+// zero vector: the first sweep reduces to x = ωD⁻¹b, the rest are full
+// x += ωD⁻¹(b − Ax) updates. x is fully overwritten.
+func (p *AMGPrec) smoothFromZero(lvl *amgLevel, b, x, r []float64, sweeps int) {
+	w := p.opts.Omega
+	for i := range x {
+		x[i] = w * lvl.invDiag[i] * b[i]
+	}
+	p.smooth(lvl, b, x, r, sweeps-1)
+}
+
+// smooth performs `sweeps` weighted-Jacobi sweeps on the current iterate.
+func (p *AMGPrec) smooth(lvl *amgLevel, b, x, r []float64, sweeps int) {
+	w := p.opts.Omega
+	for s := 0; s < sweeps; s++ {
+		lvl.a.MulVec(x, r)
+		for i := range x {
+			x[i] += w * lvl.invDiag[i] * (b[i] - r[i])
+		}
+	}
+}
+
+// vcycle runs one V-cycle at level ell, solving A_ell x ≈ b from a zero
+// initial guess. x is fully overwritten.
+func (p *AMGPrec) vcycle(ell int, b, x []float64) {
+	if ell == len(p.levels) {
+		p.coarse.SolveTo(x, b)
+		return
+	}
+	lvl := p.levels[ell]
+	r := p.rs[ell]
+	p.smoothFromZero(lvl, b, x, r, p.opts.PreSmooth)
+	// Coarse-grid correction: restrict the residual (Pᵀr sums each
+	// aggregate's entries), recurse, prolongate (P copies the aggregate
+	// value to its members) and correct.
+	lvl.a.MulVec(x, r)
+	Sub(b, r, r)
+	bc := p.bs[ell+1]
+	for i := range bc {
+		bc[i] = 0
+	}
+	for i, g := range lvl.agg {
+		bc[g] += r[i]
+	}
+	xc := p.xs[ell+1]
+	p.vcycle(ell+1, bc, xc)
+	for i, g := range lvl.agg {
+		x[i] += xc[g]
+	}
+	p.smooth(lvl, b, x, r, p.opts.PostSmooth)
+}
+
+// Apply computes z = M⁻¹r as one symmetric V-cycle.
+func (p *AMGPrec) Apply(r, z []float64) {
+	p.vcycle(0, r, z)
+}

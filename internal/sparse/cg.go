@@ -467,16 +467,20 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 			// Breakdown: report the true residual of the current iterate
 			// (recomputed as b − A·x, not the recursively updated estimate
 			// from the previous iteration). ap is dead here; reuse it.
+			// Iteration `it` performed no update, so the iterate — and the
+			// reported count — belong to iteration it−1, matching how the
+			// fused-norm path below counts only completed updates.
 			a.MulVec(x, ap)
 			Sub(b, ap, ap)
 			res = Norm2(ap) / normB
 			err := fmt.Errorf("sparse: PCG: matrix not SPD (pᵀAp=%g at iter %d)", pap, it)
+			result := CGResult{it - 1, res}
 			if rec != nil {
 				rec.record(res)
 				rec.trace.BreakdownIter = it
-				err = rec.finish(CGResult{it, res}, err)
+				err = rec.finish(result, err)
 			}
-			return x, CGResult{it, res}, err
+			return x, result, err
 		}
 		alpha := rz / pap
 		// Fused iterate/residual update and residual norm: one pass over

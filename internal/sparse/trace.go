@@ -148,6 +148,8 @@ func precName(p Preconditioner) string {
 		return "jacobi"
 	case *IC0Prec:
 		return "ic0"
+	case *AMGPrec:
+		return "amg"
 	default:
 		return "custom"
 	}
