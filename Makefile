@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve bench-scaling fuzz golden profile metrics-demo provenance-demo serve-demo
+.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve bench-scaling bench-diff fuzz golden profile metrics-demo provenance-demo serve-demo trace-demo
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,14 @@ bench-solve:
 # under -short).
 bench-scaling:
 	$(GO) test -bench '^BenchmarkSolveScale' -run '^$$' -count 3 -timeout 60m . | $(GO) run ./cmd/benchjson
+
+# bench-diff runs a quick (-benchtime=1x -short) solve-bench smoke, renders
+# it with benchjson and gates its fresh-vs-prepared / serial-vs-batch
+# speedups against the committed BENCH_solve.json baseline: any speedup
+# more than 30% below the baseline fails. This is the CI regression gate.
+bench-diff:
+	$(GO) test -bench '^BenchmarkSolve' -benchtime=1x -short -run '^$$' -timeout 20m . | $(GO) run ./cmd/benchjson > bench-smoke.json
+	$(GO) run ./cmd/benchjson -diff BENCH_solve.json bench-smoke.json -tolerance 0.30
 
 # bench-telemetry compares the instrumented Fig. 5a driver with the metrics
 # registry disabled vs. enabled; the Off case bounds the always-on cost of
@@ -86,6 +94,29 @@ provenance-demo: build
 	$(GO) run ./cmd/vsim -grid 16 -manifest /tmp/voltstack-run-a.json > /dev/null
 	$(GO) run ./cmd/vsim -grid 16 -manifest /tmp/voltstack-run-b.json > /dev/null
 	$(GO) run ./cmd/vsreport /tmp/voltstack-run-a.json /tmp/voltstack-run-b.json
+
+# trace-demo shows the end-to-end trace + per-job attribution path: the
+# daemon runs with -trace, vsctl (which mints a trace ID and sends
+# traceparent on every request) runs a job, and the demo prints the job's
+# stats document and the top table, then drains the daemon so the trace
+# file flushes — load it in https://ui.perfetto.dev to see the HTTP, queue
+# -wait, job and solver spans stitched by one trace ID.
+trace-demo: build
+	$(GO) build -o bin/vsserved ./cmd/vsserved
+	$(GO) build -o bin/vsctl ./cmd/vsctl
+	rm -rf /tmp/voltstack-trace-demo && mkdir -p /tmp/voltstack-trace-demo
+	./bin/vsserved -addr localhost:18325 \
+		-state-dir /tmp/voltstack-trace-demo/state \
+		-cache-dir /tmp/voltstack-trace-demo/cache \
+		-trace /tmp/voltstack-trace-demo/trace.json & pid=$$!; \
+	export VSSERVED_ADDR=http://localhost:18325; \
+	for i in $$(seq 1 100); do ./bin/vsctl list >/dev/null 2>&1 && break; sleep 0.1; done; \
+	./bin/vsctl run -exp fig5a -csv -coarse > /dev/null; \
+	id=$$(./bin/vsctl list | grep -o '"id": "[^"]*"' | head -1 | cut -d'"' -f4); \
+	./bin/vsctl stats $$id; \
+	./bin/vsctl top; \
+	kill -TERM $$pid; wait $$pid
+	@echo "trace: load /tmp/voltstack-trace-demo/trace.json in https://ui.perfetto.dev"
 
 # serve-demo starts the evaluation daemon, runs the same job twice through
 # vsctl (the second is a content-addressed cache hit: identical bytes, zero

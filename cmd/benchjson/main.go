@@ -8,6 +8,16 @@
 // benchmarks attach via ReportMetric) are carried into the report where
 // relevant and otherwise ignored, so the tool is safe to run on the full
 // `go test` output.
+//
+// With -diff it compares two reports instead of reading stdin:
+//
+//	benchjson -diff old.json new.json -tolerance 0.30
+//
+// Every Fresh/Prepared and Serial/Batch speedup present in both reports is
+// compared; the exit status is 1 when any speedup regressed by more than
+// the tolerance fraction (default 0.30). Raw ns/op is machine- and
+// load-dependent, so only the speedup ratios — which divide that noise
+// out — gate.
 package main
 
 import (
@@ -67,6 +77,9 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	var rep Report
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -188,4 +201,103 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runDiff implements `benchjson -diff old.json new.json [-tolerance F]`.
+// Returns the process exit code: 0 when no paired speedup regressed past
+// the tolerance, 1 on a regression, 2 on usage or read errors.
+func runDiff(args []string) int {
+	tol := 0.30
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-tolerance" || a == "--tolerance":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -tolerance needs a value")
+				return 2
+			}
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 || v >= 1 {
+				fmt.Fprintf(os.Stderr, "benchjson: -tolerance must be a fraction in [0, 1), got %q\n", args[i])
+				return 2
+			}
+			tol = v
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "benchjson: unknown diff flag %q\n", a)
+			return 2
+		default:
+			files = append(files, a)
+		}
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json [-tolerance F]")
+		return 2
+	}
+	old, err := readReport(files[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	cur, err := readReport(files[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	type speedup struct {
+		kind string
+		old  float64
+	}
+	base := map[string]speedup{}
+	for _, p := range old.Pairs {
+		base["pair/"+p.Name] = speedup{"fresh/prepared", p.Speedup}
+	}
+	for _, p := range old.BatchPairs {
+		base["batch/"+p.Name] = speedup{"serial/batch", p.Speedup}
+	}
+	check := func(key, name string, now float64) bool {
+		b, ok := base[key]
+		if !ok || b.old <= 0 {
+			fmt.Printf("NEW    %-40s speedup %.2fx (no baseline)\n", name, now)
+			return true
+		}
+		floor := b.old * (1 - tol)
+		if now < floor {
+			fmt.Printf("REGRESS %-40s speedup %.2fx -> %.2fx (floor %.2fx at %.0f%% tolerance)\n",
+				name, b.old, now, floor, 100*tol)
+			return false
+		}
+		fmt.Printf("OK     %-40s speedup %.2fx -> %.2fx\n", name, b.old, now)
+		return true
+	}
+	ok, compared := true, 0
+	for _, p := range cur.Pairs {
+		ok = check("pair/"+p.Name, p.Name, p.Speedup) && ok
+		compared++
+	}
+	for _, p := range cur.BatchPairs {
+		ok = check("batch/"+p.Name, p.Name, p.Speedup) && ok
+		compared++
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no speedup pairs in the new report — nothing compared")
+		return 2
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+func readReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
 }

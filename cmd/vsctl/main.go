@@ -14,6 +14,13 @@
 //	list      print every job's status JSON
 //	run       submit + wait + result in one step
 //	evaluate  evaluate a single design synchronously
+//	stats     print a job's resource-attribution JSON (vsctl stats <id>)
+//	top       rank all jobs by attributed CPU time
+//
+// Every invocation mints a W3C trace context and sends it as a
+// traceparent header, so a vsserved running with -trace records the
+// client's requests, the queue wait and the nested solver spans under
+// one trace ID (see the trace_id field of status and stats output).
 //
 // Job requests come either from -f FILE (raw JSON, "-" for stdin) or
 // from flags mirroring cmd/vsexplore:
@@ -36,11 +43,14 @@ import (
 	"io"
 	"net/url"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"voltstack/internal/server"
+	"voltstack/internal/telemetry"
 )
 
 func main() {
@@ -52,7 +62,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c := &server.Client{Base: *addr, Poll: *poll}
+	c := &server.Client{Base: *addr, Poll: *poll, Trace: telemetry.NewTrace()}
 	ctx := context.Background()
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
@@ -93,6 +103,17 @@ func main() {
 		}
 	case "evaluate":
 		err = cmdEvaluate(ctx, c, args)
+	case "stats":
+		err = withJobID(args, func(id string) error {
+			b, err := c.Stats(ctx, id)
+			if err != nil {
+				return err
+			}
+			_, err = os.Stdout.Write(b)
+			return err
+		})
+	case "top":
+		err = cmdTop(ctx, c)
 	default:
 		fmt.Fprintf(os.Stderr, "vsctl: unknown command %q\n", cmd)
 		usage()
@@ -116,6 +137,8 @@ commands:
   cancel <id>           request cancellation
   list                  print every job's status JSON
   evaluate [flags]      evaluate one design synchronously
+  stats  <id>           print a job's resource-attribution JSON
+  top                   rank all jobs by attributed CPU time
 
 job flags (submit/run):
   -f FILE               raw request JSON ("-": stdin); overrides the rest
@@ -278,6 +301,53 @@ func cmdEvaluate(ctx context.Context, c *server.Client, args []string) error {
 	}
 	_, err = os.Stdout.Write(append(out, '\n'))
 	return err
+}
+
+// cmdTop fetches every job's stats and prints a table ranked by
+// attributed CPU time (then wall time), one row per job.
+func cmdTop(ctx context.Context, c *server.Client) error {
+	jobs, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	type row struct {
+		st    server.JobStatus
+		stats server.JobStats
+	}
+	rows := make([]row, 0, len(jobs))
+	for _, st := range jobs {
+		b, err := c.Stats(ctx, st.ID)
+		if err != nil {
+			return fmt.Errorf("stats %s: %w", st.ID, err)
+		}
+		r := row{st: st}
+		if err := json.Unmarshal(b, &r.stats); err != nil {
+			return fmt.Errorf("stats %s: %v", st.ID, err)
+		}
+		rows = append(rows, r)
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		if rows[a].stats.CPUSeconds != rows[b].stats.CPUSeconds {
+			return rows[a].stats.CPUSeconds > rows[b].stats.CPUSeconds
+		}
+		return rows[a].stats.WallSeconds > rows[b].stats.WallSeconds
+	})
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "JOB\tSTATE\tKIND\tCPU(S)\tWALL(S)\tQUEUE(S)\tITERS\tPOINTS\tALLOC(MB)\tCACHE")
+	for _, r := range rows {
+		counter := func(name string) int64 { return r.stats.Registry.Counters[name] }
+		cache := "-"
+		if r.stats.CacheHit {
+			cache = "hit"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.2f\t%.2f\t%.3f\t%d\t%d\t%.1f\t%s\n",
+			r.st.ID, r.st.State, r.st.Kind,
+			r.stats.CPUSeconds, r.stats.WallSeconds, r.stats.QueueWaitSeconds,
+			counter("job_solver_iterations_total"),
+			counter("job_points_total")+counter("job_points_replayed_total"),
+			float64(r.stats.AllocBytes)/(1<<20), cache)
+	}
+	return w.Flush()
 }
 
 func splitList(s string) []string {

@@ -202,6 +202,9 @@ type Solution struct {
 	// Stats from the linear solve.
 	Iterations int
 	Residual   float64
+	// ConvTrace is the solver's per-iteration convergence trajectory,
+	// populated only while the flight recorder is on; nil otherwise.
+	ConvTrace *sparse.SolveTrace
 }
 
 // CheckConnectivity verifies that every node has a conductive path to
@@ -413,6 +416,7 @@ func (n *Netlist) Solve(opts SolveOptions) (*Solution, error) {
 		sol.v = x
 		sol.Iterations = res.Iterations
 		sol.Residual = res.Residual
+		sol.ConvTrace = res.Trace
 	default:
 		return nil, fmt.Errorf("circuit: unknown solver kind %d", kind)
 	}

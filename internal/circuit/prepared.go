@@ -250,8 +250,16 @@ func (p *Prepared) InvalidateValues() { p.valsDirty = true }
 // iterative solver kinds; direct kinds ignore it. With x0 == nil the
 // returned Solution is bit-identical to a fresh Netlist.Solve.
 func (p *Prepared) Solve(x0 []float64) (*Solution, error) {
+	return p.SolveSpan(nil, x0)
+}
+
+// SolveSpan is Solve with an optional parent trace span: the restamp,
+// factor (including AMG hierarchy rebuilds) and PCG phases are recorded as
+// child spans of sp. A nil sp (tracing off) adds no work and no
+// allocations, and the solve result is identical either way.
+func (p *Prepared) SolveSpan(sp *telemetry.Span, x0 []float64) (*Solution, error) {
 	mPrepSolves.Add(1)
-	if err := p.ensureCurrent(); err != nil {
+	if err := p.ensureCurrentSpan(sp); err != nil {
 		return nil, err
 	}
 	n := p.net
@@ -275,13 +283,16 @@ func (p *Prepared) Solve(x0 []float64) (*Solution, error) {
 		if x0 != nil {
 			mPrepWarmStarts.Add(1)
 		}
+		spPCG := sp.Start("pcg")
 		x, res, err := sparse.PCGW(p.a, p.rhs, x0, prec, p.tol, p.maxIter, p.ws)
+		spPCG.End()
 		if err != nil {
 			return nil, err
 		}
 		sol.v = x
 		sol.Iterations = res.Iterations
 		sol.Residual = res.Residual
+		sol.ConvTrace = res.Trace
 	default:
 		return nil, fmt.Errorf("circuit: unknown solver kind %d", p.kind)
 	}
@@ -292,7 +303,11 @@ func (p *Prepared) Solve(x0 []float64) (*Solution, error) {
 // structure drift, restamp matrix values if dirty, and renew the numeric
 // factorization. After it returns nil the cached factor matches the
 // netlist's current matrix-bearing values.
-func (p *Prepared) ensureCurrent() error {
+func (p *Prepared) ensureCurrent() error { return p.ensureCurrentSpan(nil) }
+
+// ensureCurrentSpan is ensureCurrent with the restamp and factor phases
+// recorded as child spans of sp (nil-safe).
+func (p *Prepared) ensureCurrentSpan(sp *telemetry.Span) error {
 	if p.structureChanged() {
 		mPrepRecompiles.Add(1)
 		if telemetry.EventsEnabled() {
@@ -309,9 +324,11 @@ func (p *Prepared) ensureCurrent() error {
 	}
 	if p.valsDirty {
 		mPrepRestamps.Add(1)
+		spR := sp.Start("restamp")
 		w := &valueWriter{dst: p.coo}
 		p.net.stampMatrix(w)
 		if w.bad || w.pos != len(p.coo) {
+			spR.End()
 			// Structure drifted in a way the sentinels missed; rebuild.
 			mPrepRecompiles.Add(1)
 			if telemetry.EventsEnabled() {
@@ -326,10 +343,14 @@ func (p *Prepared) ensureCurrent() error {
 			p.am.Fold(p.coo, p.a.Values())
 			p.valsDirty = false
 			p.factored = false
+			spR.End()
 		}
 	}
 	if !p.factored {
-		if err := p.refactor(); err != nil {
+		spF := sp.Start("factor")
+		err := p.refactor(spF)
+		spF.End()
+		if err != nil {
 			return err
 		}
 		p.factored = true
@@ -338,8 +359,9 @@ func (p *Prepared) ensureCurrent() error {
 }
 
 // refactor renews the numeric factorization (or preconditioner) on the
-// cached symbolic structure for the current matrix values.
-func (p *Prepared) refactor() error {
+// cached symbolic structure for the current matrix values. sp (nil-safe)
+// parents the AMG hierarchy-rebuild span.
+func (p *Prepared) refactor(sp *telemetry.Span) error {
 	switch p.kind {
 	case Direct:
 		f, err := p.skySym.Refactor(p.a, p.skyF)
@@ -369,7 +391,10 @@ func (p *Prepared) refactor() error {
 		// restamped matrix — exactly what the fresh path computes, keeping
 		// prepared ≡ fresh bit-identical.
 		p.amg, p.amgOK = nil, false
-		if mg, err := sparse.NewAMG(p.a, sparse.AMGOptions{}); err == nil {
+		spA := sp.Start("amg-build")
+		mg, err := sparse.NewAMG(p.a, sparse.AMGOptions{})
+		spA.End()
+		if err == nil {
 			p.amg = mg
 			p.amgOK = true
 		}

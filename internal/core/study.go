@@ -32,7 +32,7 @@ var (
 //
 //	defer s.observe("fig5a")()
 func (s *Study) observe(name string) func() {
-	sp := telemetry.StartSpan("core." + name)
+	sp := telemetry.StartSpanTrace("core."+name, s.Trace)
 	t0 := telemetry.Now()
 	telemetry.TaskStart("core." + name)
 	return func() {
@@ -67,6 +67,12 @@ type Study struct {
 	// study builds, restoring the rebuild-everything baseline (used by the
 	// fresh-vs-prepared benchmark pairs and equivalence tests).
 	ForceFreshSolve bool
+
+	// Trace, when valid, annotates each experiment driver's trace span
+	// with the request's W3C trace context, so a served job's driver spans
+	// join the submitter's trace. The zero value (the default) leaves the
+	// spans unannotated; results are identical either way.
+	Trace telemetry.TraceContext
 }
 
 // NewStudy returns the paper's configuration: the 16-core A9-class layer,

@@ -147,6 +147,14 @@ func (s Space) Designs() []Design {
 // Evaluate computes the metrics of one design. Lifetimes are normalized
 // by the caller (Run normalizes to the best value in the space).
 func (s Space) Evaluate(d Design) (*Metrics, error) {
+	return s.EvaluateContext(context.Background(), d)
+}
+
+// EvaluateContext is Evaluate with a context carrying the trace spans and
+// per-job telemetry scope the solver layers annotate (see telemetry
+// WithTraceContext/WithScope). The context does not affect the computed
+// metrics.
+func (s Space) EvaluateContext(ctx context.Context, d Design) (*Metrics, error) {
 	cfg := pdngrid.Config{
 		Kind:              d.Kind,
 		Layers:            s.Layers,
@@ -171,13 +179,13 @@ func (s Space) Evaluate(d Design) (*Metrics, error) {
 	uniform := pdngrid.UniformActivities(s.Layers, cores, 1)
 	if d.Kind == pdngrid.VoltageStacked {
 		acts := pdngrid.InterleavedActivities(s.Layers, cores, s.Imbalance)
-		rs, err := p.SolveBatch([][][]float64{acts, uniform})
+		rs, err := p.SolveBatchContext(ctx, [][][]float64{acts, uniform})
 		if err != nil {
 			return nil, err
 		}
 		r, rEM = rs[0], rs[1]
 	} else {
-		if r, err = p.Solve(uniform); err != nil { // worst case
+		if r, err = p.SolveContext(ctx, uniform); err != nil { // worst case
 			return nil, err
 		}
 		rEM = r
@@ -242,8 +250,9 @@ func (s Space) Run() (*Result, error) {
 // RunContext is Run with cancellation: a cancelled ctx stops dispatching
 // design evaluations and returns the context's error.
 func (s Space) RunContext(ctx context.Context) (*Result, error) {
-	sp := telemetry.StartSpan("explore.Run")
+	sp := telemetry.StartSpanCtx(ctx, "explore.Run")
 	defer sp.End()
+	scope := telemetry.ScopeFrom(ctx)
 	designs := s.Designs()
 	tRun := telemetry.Now()
 	prog := telemetry.NewProgress("explore", len(designs))
@@ -251,18 +260,27 @@ func (s Space) RunContext(ctx context.Context) (*Result, error) {
 	metrics, err := parallel.Map(ctx, pool, designs, func(i int, d Design) (*Metrics, error) {
 		if m, ok := s.Precomputed[i]; ok && m != nil {
 			prog.Add(1)
+			scope.Counter("job_points_replayed_total").Add(1)
 			if s.OnPoint != nil {
 				s.OnPoint(i, m)
 			}
 			return m, nil
 		}
 		t0 := telemetry.Now()
-		m, err := s.Evaluate(d)
+		var tJob time.Time
+		if scope != nil {
+			tJob = time.Now()
+		}
+		m, err := s.EvaluateContext(ctx, d)
 		if err != nil {
 			return nil, fmt.Errorf("explore: %s: %v", d.Name(), err)
 		}
 		mPoints.Add(1)
 		mEvalSeconds.Since(t0)
+		if scope != nil {
+			scope.Counter("job_points_total").Add(1)
+			scope.Histogram("job_point_seconds").Observe(time.Since(tJob).Seconds())
+		}
 		prog.Add(1)
 		if s.OnPoint != nil {
 			s.OnPoint(i, m)

@@ -1,8 +1,10 @@
 package pdngrid
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"voltstack/internal/circuit"
 	"voltstack/internal/sc"
@@ -127,6 +129,14 @@ func InterleavedActivities(layers, cores int, imbalance float64) [][]float64 {
 // the previous outer iterate. Cfg.ForceFreshSolve restores the historical
 // rebuild-everything path.
 func (p *PDN) Solve(activities [][]float64) (*Result, error) {
+	return p.SolveContext(context.Background(), activities)
+}
+
+// SolveContext is Solve with a context: trace spans inherit the context's
+// trace ID and solver effort is attributed to the context's job scope (see
+// telemetry.Scope). The solve result is byte-identical with or without a
+// trace or scope attached.
+func (p *PDN) SolveContext(ctx context.Context, activities [][]float64) (*Result, error) {
 	cfg := p.Cfg
 	loads, err := p.rasterizeLoads(activities)
 	if err != nil {
@@ -150,9 +160,36 @@ func (p *PDN) Solve(activities [][]float64) (*Result, error) {
 	}
 
 	if cfg.ForceFreshSolve {
-		return p.solveFresh(loads, freqs, ctrl, maxOuter)
+		return p.solveFresh(ctx, loads, freqs, ctrl, maxOuter)
 	}
-	return p.solvePrepared(loads, freqs, ctrl, maxOuter)
+	return p.solvePrepared(ctx, loads, freqs, ctrl, maxOuter)
+}
+
+// recordJobSolve attributes one linear solve to the job scope: per-job
+// counters and latency histogram, plus an exemplar keyed to the solve's
+// trace span with convergence evidence (iterations, residual, and — when
+// the flight recorder is on — the per-iteration residual timeline).
+func recordJobSolve(scope *telemetry.Scope, sp *telemetry.Span, secs float64, sol *circuit.Solution) {
+	if scope == nil {
+		return
+	}
+	scope.Counter("job_pdn_solves_total").Add(1)
+	scope.Counter("job_solver_iterations_total").Add(int64(sol.Iterations))
+	scope.Histogram("job_linear_solve_seconds").Observe(secs)
+	scope.Gauge("job_solver_residual_last").Set(sol.Residual)
+	ex := telemetry.Exemplar{
+		Metric:     "job_linear_solve_seconds",
+		Value:      secs,
+		Iterations: sol.Iterations,
+		Residual:   sol.Residual,
+	}
+	if tc := sp.TraceContext(); tc.Valid() {
+		ex.TraceID, ex.SpanID = tc.TraceIDString(), tc.SpanIDString()
+	}
+	if sol.ConvTrace != nil {
+		ex.Residuals = sol.ConvTrace.Residuals
+	}
+	scope.RecordExemplar(ex)
 }
 
 // rasterizeLoads converts per-layer, per-core activity factors into
@@ -183,7 +220,7 @@ func (p *PDN) rasterizeLoads(activities [][]float64) ([][]float64, error) {
 
 // solveFresh is the historical solve loop: every outer pass rebuilds the
 // netlist, re-sorts the assembly, reorders and refactors from scratch.
-func (p *PDN) solveFresh(loads [][]float64, freqs []float64, ctrl sc.Control, maxOuter int) (*Result, error) {
+func (p *PDN) solveFresh(ctx context.Context, loads [][]float64, freqs []float64, ctrl sc.Control, maxOuter int) (*Result, error) {
 	cfg := p.Cfg
 	var res *Result
 	var prevJ []float64
@@ -193,7 +230,7 @@ func (p *PDN) solveFresh(loads [][]float64, freqs []float64, ctrl sc.Control, ma
 	lastDelta := 0.0
 	for outer := 0; outer < maxOuter; outer++ {
 		var err error
-		res, err = p.solveOnce(loads, freqs, outer)
+		res, err = p.solveOnce(ctx, loads, freqs, outer)
 		if err != nil {
 			return nil, err
 		}
@@ -229,6 +266,7 @@ func (p *PDN) solveFresh(loads [][]float64, freqs []float64, ctrl sc.Control, ma
 	res.OuterIterations = outerDone
 	res.TotalSolverIterations = totalIters
 	mOuterIters.Add(int64(outerDone))
+	telemetry.ScopeFrom(ctx).Counter("job_outer_iterations_total").Add(int64(outerDone))
 	return res, nil
 }
 
@@ -266,11 +304,12 @@ func (e *engine) applyConverters(cfg Config, freqs []float64) {
 // cold start and no warm starts the results are bit-identical to
 // solveFresh; warm starts change only the iterative-solver trajectory, not
 // the sparsity structure or the converged answer beyond solver tolerance.
-func (p *PDN) solvePrepared(loads [][]float64, freqs []float64, ctrl sc.Control, maxOuter int) (*Result, error) {
+func (p *PDN) solvePrepared(ctx context.Context, loads [][]float64, freqs []float64, ctrl sc.Control, maxOuter int) (*Result, error) {
 	cfg := p.Cfg
 
-	sp := telemetry.StartSpan("pdngrid.solve")
+	sp := telemetry.StartSpanCtx(ctx, "pdngrid.solve")
 	defer sp.End()
+	scope := telemetry.ScopeFrom(ctx)
 
 	eng := p.takeEngine()
 	if eng == nil {
@@ -312,8 +351,12 @@ func (p *PDN) solvePrepared(loads [][]float64, freqs []float64, ctrl sc.Control,
 			eng.applyConverters(cfg, freqs)
 		}
 		spS := sp.Start("linear-solve")
+		var tJob time.Time
+		if scope != nil {
+			tJob = time.Now()
+		}
 		tS := telemetry.Now()
-		sol, err := eng.prep.Solve(x0)
+		sol, err := eng.prep.SolveSpan(spS, x0)
 		mSolveSeconds.Since(tS)
 		spS.End()
 		if err != nil {
@@ -321,6 +364,9 @@ func (p *PDN) solvePrepared(loads [][]float64, freqs []float64, ctrl sc.Control,
 		}
 		mSolves.Add(1)
 		mNodesHist.Observe(float64(eng.asm.net.NumNodes()))
+		if scope != nil {
+			recordJobSolve(scope, spS, time.Since(tJob).Seconds(), sol)
+		}
 
 		res = p.extractResult(eng.asm, sol)
 		totalIters += res.SolverIterations
@@ -368,6 +414,7 @@ func (p *PDN) solvePrepared(loads [][]float64, freqs []float64, ctrl sc.Control,
 	res.OuterIterations = outerDone
 	res.TotalSolverIterations = totalIters
 	mOuterIters.Add(int64(outerDone))
+	scope.Counter("job_outer_iterations_total").Add(int64(outerDone))
 	return res, nil
 }
 
@@ -571,11 +618,12 @@ func (p *PDN) assemble(loads [][]float64, freqs []float64, dyn *dynSpec) *assemb
 	return a
 }
 
-func (p *PDN) solveOnce(loads [][]float64, freqs []float64, outer int) (*Result, error) {
+func (p *PDN) solveOnce(ctx context.Context, loads [][]float64, freqs []float64, outer int) (*Result, error) {
 	cfg := p.Cfg
 
-	sp := telemetry.StartSpan("pdngrid.solve")
+	sp := telemetry.StartSpanCtx(ctx, "pdngrid.solve")
 	defer sp.End()
+	scope := telemetry.ScopeFrom(ctx)
 
 	spA := sp.Start("assemble")
 	tA := telemetry.Now()
@@ -584,6 +632,10 @@ func (p *PDN) solveOnce(loads [][]float64, freqs []float64, outer int) (*Result,
 	spA.End()
 
 	spS := sp.Start("linear-solve")
+	var tJob time.Time
+	if scope != nil {
+		tJob = time.Now()
+	}
 	tS := telemetry.Now()
 	sol, err := asm.net.Solve(cfg.Solve)
 	mSolveSeconds.Since(tS)
@@ -593,6 +645,9 @@ func (p *PDN) solveOnce(loads [][]float64, freqs []float64, outer int) (*Result,
 	}
 	mSolves.Add(1)
 	mNodesHist.Observe(float64(asm.net.NumNodes()))
+	if scope != nil {
+		recordJobSolve(scope, spS, time.Since(tJob).Seconds(), sol)
+	}
 
 	return p.extractResult(asm, sol), nil
 }

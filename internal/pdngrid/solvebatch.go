@@ -7,7 +7,9 @@
 package pdngrid
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"voltstack/internal/sc"
 	"voltstack/internal/telemetry"
@@ -23,7 +25,13 @@ var (
 // bit-identical to) calling Solve on each entry in order. Entry i of the
 // batch must be Layers x NumCores like Solve's argument.
 func (p *PDN) SolveBatch(batch [][][]float64) ([]*Result, error) {
-	return p.SolveBatchWorkers(batch, 0)
+	return p.solveBatch(context.Background(), batch, 0)
+}
+
+// SolveBatchContext is SolveBatch with a context for trace-span and
+// job-scope propagation (see SolveContext).
+func (p *PDN) SolveBatchContext(ctx context.Context, batch [][][]float64) ([]*Result, error) {
+	return p.solveBatch(ctx, batch, 0)
 }
 
 // SolveBatchWorkers is SolveBatch with the independent solve lanes
@@ -37,6 +45,10 @@ func (p *PDN) SolveBatch(batch [][][]float64) ([]*Result, error) {
 // outer iterations give every entry a distinct converter operating point
 // (a distinct matrix), which has no shared factorization to amortize.
 func (p *PDN) SolveBatchWorkers(batch [][][]float64, workers int) ([]*Result, error) {
+	return p.solveBatch(context.Background(), batch, workers)
+}
+
+func (p *PDN) solveBatch(ctx context.Context, batch [][][]float64, workers int) ([]*Result, error) {
 	cfg := p.Cfg
 	k := len(batch)
 	if k == 0 {
@@ -54,7 +66,7 @@ func (p *PDN) SolveBatchWorkers(batch [][][]float64, workers int) ([]*Result, er
 	if cfg.ForceFreshSolve || closedLoop {
 		out := make([]*Result, k)
 		for i, acts := range batch {
-			r, err := p.Solve(acts)
+			r, err := p.SolveContext(ctx, acts)
 			if err != nil {
 				return nil, fmt.Errorf("pdngrid: batch entry %d: %w", i, err)
 			}
@@ -76,8 +88,11 @@ func (p *PDN) SolveBatchWorkers(batch [][][]float64, workers int) ([]*Result, er
 		freqs[i] = cfg.Converter.FSw
 	}
 
-	sp := telemetry.StartSpan("pdngrid.solve-batch")
+	sp := telemetry.StartSpanCtx(ctx, "pdngrid.solve-batch")
 	defer sp.End()
+	scope := telemetry.ScopeFrom(ctx)
+	scope.Counter("job_batch_solves_total").Add(1)
+	scope.Counter("job_batch_lanes_total").Add(int64(k))
 
 	eng := p.takeEngine()
 	if eng == nil {
@@ -103,6 +118,10 @@ func (p *PDN) SolveBatchWorkers(batch [][][]float64, workers int) ([]*Result, er
 	defer p.putEngine(eng)
 
 	spS := sp.Start("linear-solve")
+	var tJob time.Time
+	if scope != nil {
+		tJob = time.Now()
+	}
 	tS := telemetry.Now()
 	sols, err := eng.prep.SolveBatch(k, func(i int) {
 		eng.applyLoads(loads[i], p.nCells)
@@ -124,5 +143,29 @@ func (p *PDN) SolveBatchWorkers(batch [][][]float64, workers int) ([]*Result, er
 		mNodesHist.Observe(float64(eng.asm.net.NumNodes()))
 	}
 	mOuterIters.Add(int64(k))
+	if scope != nil {
+		// One attribution record for the whole batched linear solve: the
+		// lanes share a restamp/factor, so per-lane wall time is not
+		// separable — the batch solve is the meaningful unit.
+		secs := time.Since(tJob).Seconds()
+		totalIters := 0
+		for _, r := range out {
+			totalIters += r.SolverIterations
+		}
+		scope.Counter("job_pdn_solves_total").Add(int64(k))
+		scope.Counter("job_outer_iterations_total").Add(int64(k))
+		scope.Counter("job_solver_iterations_total").Add(int64(totalIters))
+		scope.Histogram("job_linear_solve_seconds").Observe(secs)
+		ex := telemetry.Exemplar{
+			Metric:     "job_linear_solve_seconds",
+			Value:      secs,
+			Iterations: totalIters,
+			Residual:   out[k-1].SolverResidual,
+		}
+		if tc := spS.TraceContext(); tc.Valid() {
+			ex.TraceID, ex.SpanID = tc.TraceIDString(), tc.SpanIDString()
+		}
+		scope.RecordExemplar(ex)
+	}
 	return out, nil
 }

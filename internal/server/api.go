@@ -10,6 +10,7 @@
 //	GET    /v1/jobs               list jobs           → 200 [JobStatus]
 //	GET    /v1/jobs/{id}          job status          → 200 JobStatus, 404
 //	GET    /v1/jobs/{id}/result   job output          → 200 bytes, 404, 409 until done
+//	GET    /v1/jobs/{id}/stats    per-job resource attribution → 200 JobStats, 404
 //	DELETE /v1/jobs/{id}          cancel              → 200 JobStatus, 404
 //	GET    /v1/designs:evaluate   one design, synchronously → 200 explore.Metrics
 //
@@ -303,6 +304,10 @@ type JobStatus struct {
 	FinishedAt string `json:"finished_at,omitempty"` // RFC 3339
 
 	ResultBytes int `json:"result_bytes,omitempty"`
+
+	// TraceID is the job's 32-hex-char trace ID: the submitter's (when the
+	// request carried a valid traceparent header) or a server-minted one.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorBody is the JSON error envelope of every non-2xx response.

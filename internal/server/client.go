@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"voltstack/internal/telemetry"
 )
 
 // Client talks to a vsserved instance. The zero HTTP client and poll
@@ -22,6 +24,10 @@ type Client struct {
 	HTTP *http.Client
 	// Poll is the Wait polling interval; 0 selects 200ms.
 	Poll time.Duration
+	// Trace, when valid, is sent as a W3C traceparent header on every
+	// request (each with a fresh span ID under the same trace), so the
+	// server's spans join the client's trace end to end.
+	Trace telemetry.TraceContext
 }
 
 func (c *Client) http() *http.Client {
@@ -58,6 +64,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Trace.Valid() {
+		req.Header.Set("traceparent", c.Trace.Child().Traceparent())
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -117,6 +126,17 @@ func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
 // Result fetches the output bytes of a done job.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Stats fetches the raw per-job stats document (JSON bytes, served
+// verbatim so a terminal job's stats are byte-identical on every read).
+func (c *Client) Stats(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/stats", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -96,7 +96,23 @@ type Job struct {
 	cancel    context.CancelFunc
 	result    []byte
 	ckpt      *os.File // open checkpoint stream while a sweep runs
+
+	// Request tracing and per-job attribution. trace is minted at Submit
+	// when the caller sent no (or an invalid) traceparent; queueSpan
+	// covers Submit→run on the process tracer; scope is the job's own
+	// telemetry registry + exemplar store, layered over the process
+	// registry; stats holds the frozen terminal stats document; cpu0 and
+	// alloc0 anchor the run's CPU/allocation deltas.
+	trace     telemetry.TraceContext
+	queueSpan *telemetry.Span
+	scope     *telemetry.Scope
+	stats     []byte
+	cpu0      float64
+	alloc0    uint64
 }
+
+// Trace returns the job's trace context.
+func (j *Job) Trace() telemetry.TraceContext { return j.trace }
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
@@ -119,6 +135,7 @@ func (j *Job) Status() JobStatus {
 		Resumed:     j.resumed,
 		Error:       j.errMsg,
 		ResultBytes: len(j.result),
+		TraceID:     j.trace.TraceIDString(),
 	}
 	if !j.created.IsZero() {
 		st.CreatedAt = j.created.UTC().Format(time.RFC3339Nano)
@@ -141,19 +158,20 @@ func (j *Job) userCancelled() bool {
 func (j *Job) persisted() persistedJob {
 	st := j.Status()
 	return persistedJob{
-		ID:         st.ID,
-		Seq:        j.seq,
-		Request:    j.req,
-		State:      st.State,
-		Key:        st.Key,
-		Total:      st.Total,
-		Completed:  st.Completed,
-		CacheHit:   st.CacheHit,
-		Resumed:    st.Resumed,
-		Error:      st.Error,
-		CreatedAt:  st.CreatedAt,
-		StartedAt:  st.StartedAt,
-		FinishedAt: st.FinishedAt,
+		ID:          st.ID,
+		Seq:         j.seq,
+		Request:     j.req,
+		State:       st.State,
+		Key:         st.Key,
+		Total:       st.Total,
+		Completed:   st.Completed,
+		CacheHit:    st.CacheHit,
+		Resumed:     st.Resumed,
+		Error:       st.Error,
+		CreatedAt:   st.CreatedAt,
+		StartedAt:   st.StartedAt,
+		FinishedAt:  st.FinishedAt,
+		Traceparent: j.trace.Traceparent(),
 	}
 }
 
@@ -265,6 +283,9 @@ func (m *Manager) adoptPersisted(p persistedJob) *Job {
 	}
 	j.created = parseRFC3339(p.CreatedAt)
 	j.finished = parseRFC3339(p.FinishedAt)
+	if tc, err := telemetry.ParseTraceparent(p.Traceparent); err == nil {
+		j.trace = tc
+	}
 	j.completed.Store(int64(p.Completed))
 	if j.state.Terminal() {
 		close(j.done)
@@ -319,8 +340,17 @@ func totalFor(req JobRequest) int {
 
 // Submit normalizes, validates, admits and enqueues a request. It
 // returns ErrDraining during shutdown, an *OverloadError when the queue
-// is full, or the queued job.
+// is full, or the queued job. The job gets a freshly minted trace
+// context; use SubmitTrace to continue a caller's trace instead.
 func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	return m.SubmitTrace(req, telemetry.TraceContext{})
+}
+
+// SubmitTrace is Submit under the caller's trace context (from a
+// traceparent header, say): the job's spans join tc's trace with tc's
+// span as parent. An invalid tc mints a fresh trace, so every job ends
+// up with a trace ID either way.
+func (m *Manager) SubmitTrace(req JobRequest, tc telemetry.TraceContext) (*Job, error) {
 	req.Normalize()
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -332,6 +362,9 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !tc.Valid() {
+		tc = telemetry.NewTrace()
+	}
 	j := &Job{
 		req:     req,
 		key:     key,
@@ -339,6 +372,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		total:   totalFor(req),
 		created: time.Now(),
 		done:    make(chan struct{}),
+		trace:   tc,
 	}
 	m.mu.Lock()
 	j.seq = m.nextSeq
@@ -346,9 +380,13 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	m.mu.Unlock()
 	j.id = fmt.Sprintf("j%d-%s", j.seq, randomSuffix())
 
+	// The queue-wait span must exist before the channel send: the send is
+	// what publishes j to runJob, so anything written after it races.
+	j.queueSpan = telemetry.StartSpanTrace("server.queue-wait", tc)
 	select {
 	case m.queue <- j:
 	default:
+		j.queueSpan = nil // never ran: don't record a bogus queue-wait
 		mRejected.Add(1)
 		return nil, &OverloadError{RetryAfter: m.cfg.RetryAfter}
 	}
@@ -432,9 +470,13 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 		j.state = StateCancelled
 		j.errMsg = "cancelled before start"
 		j.finished = time.Now()
+		qs := j.queueSpan
+		j.queueSpan = nil
 		close(j.done)
 		j.mu.Unlock()
+		qs.End()
 		mCancelled.Add(1)
+		m.finalizeStats(j)
 		m.saveMeta(j)
 		return j, true
 	}
@@ -532,7 +574,19 @@ func (m *Manager) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	qs := j.queueSpan
+	j.queueSpan = nil
+	tc := j.trace
+	scope := telemetry.NewScope(tc)
+	j.scope = scope
+	j.cpu0 = telemetry.ProcessCPUSeconds()
+	j.alloc0 = totalAlloc()
+	queueWait := j.started.Sub(j.created).Seconds()
 	j.mu.Unlock()
+	qs.End()
+	scope.Histogram("job_queue_wait_seconds").Observe(queueWait)
+	jobCtx = telemetry.WithScope(jobCtx, scope)
+	sp := telemetry.StartSpanTrace("server.job."+j.req.Kind, tc)
 	m.saveMeta(j)
 	mRunning.Set(mRunning.Value() + 1)
 	defer func() { mRunning.Set(mRunning.Value() - 1) }()
@@ -543,6 +597,7 @@ func (m *Manager) runJob(j *Job) {
 	val, hit, err := m.cache.Do(j.key, func() ([]byte, error) {
 		return m.compute(jobCtx, j)
 	})
+	sp.End()
 
 	j.mu.Lock()
 	if j.ckpt != nil {
@@ -578,6 +633,8 @@ func (m *Manager) runJob(j *Job) {
 		j.mu.Lock()
 		j.state = StateQueued
 		j.cancel = nil
+		j.scope = nil
+		j.cpu0, j.alloc0 = 0, 0
 		j.mu.Unlock()
 	default:
 		m.finish(j, StateFailed, nil, err.Error())
@@ -594,6 +651,7 @@ func (m *Manager) finish(j *Job, state JobState, result []byte, errMsg string) {
 	j.cancel = nil
 	close(j.done)
 	j.mu.Unlock()
+	m.finalizeStats(j)
 	m.saveMeta(j)
 }
 
@@ -629,6 +687,7 @@ func (m *Manager) compute(ctx context.Context, j *Job) ([]byte, error) {
 // is honored between drivers.
 func (m *Manager) computeExperiments(ctx context.Context, j *Job) ([]byte, error) {
 	s := newStudy(j.req)
+	s.Trace = telemetry.TraceContextFrom(ctx)
 	var buf bytes.Buffer
 	for _, name := range j.req.Experiments {
 		if err := ctx.Err(); err != nil {
@@ -653,6 +712,7 @@ func (m *Manager) computeEMMC(ctx context.Context, j *Job) ([]byte, error) {
 		return nil, err
 	}
 	s := newStudy(j.req)
+	s.Trace = telemetry.TraceContextFrom(ctx)
 	r, err := s.ExtEMMonteCarlo(j.req.Trials)
 	if err != nil {
 		return nil, err
@@ -718,6 +778,7 @@ func (m *Manager) computeSweep(ctx context.Context, j *Job) ([]byte, error) {
 		keys[i] = k
 	}
 
+	scope := telemetry.ScopeFrom(ctx)
 	pre := map[int]*explore.Metrics{}
 	if m.journal != nil {
 		ck, err := m.journal.loadCheckpoint(j.id)
@@ -733,6 +794,7 @@ func (m *Manager) computeSweep(ctx context.Context, j *Job) ([]byte, error) {
 				pre[i] = &mt
 			}
 		}
+		scope.Counter("job_ckpt_points_total").Add(int64(len(pre)))
 	}
 	for i, k := range keys {
 		if _, ok := pre[i]; ok {
@@ -742,8 +804,11 @@ func (m *Manager) computeSweep(ctx context.Context, j *Job) ([]byte, error) {
 			var mt explore.Metrics
 			if json.Unmarshal(b, &mt) == nil {
 				pre[i] = &mt
+				scope.Counter("job_rescache_point_hits_total").Add(1)
+				continue
 			}
 		}
+		scope.Counter("job_rescache_point_misses_total").Add(1)
 	}
 	if n := len(pre); n > 0 {
 		mReplayed.Add(int64(n))
@@ -798,14 +863,16 @@ func (m *Manager) computeSweep(ctx context.Context, j *Job) ([]byte, error) {
 
 // EvaluateDesign evaluates a single design synchronously through the
 // per-point cache (with singleflight dedup of concurrent identical
-// evaluations) and returns the raw metrics in canonical JSON.
-func (m *Manager) EvaluateDesign(sp explore.Space, d explore.Design) ([]byte, error) {
+// evaluations) and returns the raw metrics in canonical JSON. The
+// context's trace spans annotate the solve; it does not affect the
+// result bytes.
+func (m *Manager) EvaluateDesign(ctx context.Context, sp explore.Space, d explore.Design) ([]byte, error) {
 	key, err := pointKey(sp, d)
 	if err != nil {
 		return nil, err
 	}
 	val, _, err := m.cache.Do(key, func() ([]byte, error) {
-		mt, err := sp.Evaluate(d)
+		mt, err := sp.EvaluateContext(ctx, d)
 		if err != nil {
 			return nil, err
 		}

@@ -15,6 +15,7 @@ import (
 //	<id>.json        job metadata (request, state, key, timestamps)
 //	<id>.ckpt.jsonl  one line per completed sweep point (index + raw metrics)
 //	<id>.result      the final result bytes of a done job
+//	<id>.stats.json  the frozen final stats document of a terminal job
 //
 // Metadata and results are written with temp+rename so a crash never
 // leaves a torn file; the checkpoint is append-only JSONL, and a torn
@@ -36,6 +37,9 @@ type persistedJob struct {
 	CreatedAt  string     `json:"created_at,omitempty"`
 	StartedAt  string     `json:"started_at,omitempty"`
 	FinishedAt string     `json:"finished_at,omitempty"`
+	// Traceparent is the job's trace context in W3C wire form, so a
+	// resumed job keeps its original trace ID across restarts.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 type journal struct {
@@ -53,6 +57,7 @@ func newJournal(stateDir string) (*journal, error) {
 func (j *journal) metaPath(id string) string   { return filepath.Join(j.dir, id+".json") }
 func (j *journal) ckptPath(id string) string   { return filepath.Join(j.dir, id+".ckpt.jsonl") }
 func (j *journal) resultPath(id string) string { return filepath.Join(j.dir, id+".result") }
+func (j *journal) statsPath(id string) string  { return filepath.Join(j.dir, id+".stats.json") }
 
 // atomicWrite lands data at path via a temp file and rename, so readers
 // (and the post-crash loader) never observe a partial write.
@@ -90,7 +95,8 @@ func (j *journal) load() ([]persistedJob, error) {
 	var out []persistedJob
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".tmp-") {
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".tmp-") ||
+			strings.HasSuffix(name, ".stats.json") {
 			continue
 		}
 		b, err := os.ReadFile(filepath.Join(j.dir, name))
@@ -157,4 +163,12 @@ func (j *journal) saveResult(id string, data []byte) error {
 
 func (j *journal) loadResult(id string) ([]byte, error) {
 	return os.ReadFile(j.resultPath(id))
+}
+
+func (j *journal) saveStats(id string, data []byte) error {
+	return atomicWrite(j.statsPath(id), data)
+}
+
+func (j *journal) loadStats(id string) ([]byte, error) {
+	return os.ReadFile(j.statsPath(id))
 }

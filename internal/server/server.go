@@ -24,32 +24,37 @@ var (
 // (/metrics /healthz /statusz /debug/pprof) on one mux.
 func NewHandler(m *Manager) http.Handler {
 	mux := telemetry.NewObservabilityMux()
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		instrument(func() { handleSubmit(m, w, r) })
-	})
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		instrument(func() { handleList(m, w, r) })
-	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		instrument(func() { handleStatus(m, w, r) })
-	})
-	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
-		instrument(func() { handleResult(m, w, r) })
-	})
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		instrument(func() { handleCancel(m, w, r) })
-	})
-	mux.HandleFunc("GET /v1/designs:evaluate", func(w http.ResponseWriter, r *http.Request) {
-		instrument(func() { handleEvaluate(m, w, r) })
-	})
+	mux.HandleFunc("POST /v1/jobs", instrument(m, "submit", handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", instrument(m, "list", handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", instrument(m, "status", handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", instrument(m, "result", handleResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/stats", instrument(m, "stats", handleStats))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", instrument(m, "cancel", handleCancel))
+	mux.HandleFunc("GET /v1/designs:evaluate", instrument(m, "evaluate", handleEvaluate))
 	return mux
 }
 
-func instrument(f func()) {
-	t0 := telemetry.Now()
-	mHTTPRequests.Add(1)
-	f()
-	mHTTPSeconds.Since(t0)
+// instrument wraps a handler with the request metrics and, when the
+// request carries a valid W3C traceparent header, joins the caller's
+// trace: the trace context lands in the request context (so Submit and
+// the synchronous evaluate path propagate it into the solvers) and the
+// whole handler invocation records as an "http.<name>" span. Requests
+// without the header — or with tracing disabled — pay nothing.
+func instrument(m *Manager, name string, h func(*Manager, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := telemetry.Now()
+		mHTTPRequests.Add(1)
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			if tc, err := telemetry.ParseTraceparent(tp); err == nil {
+				r = r.WithContext(telemetry.WithTraceContext(r.Context(), tc))
+				if sp := telemetry.StartSpanTrace("http."+name, tc); sp != nil {
+					defer sp.End()
+				}
+			}
+		}
+		h(m, w, r)
+		mHTTPSeconds.Since(t0)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -70,7 +75,7 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%s", err)
 		return
 	}
-	j, err := m.Submit(*req)
+	j, err := m.SubmitTrace(*req, telemetry.TraceContextFrom(r.Context()))
 	if err != nil {
 		var overload *OverloadError
 		switch {
@@ -137,6 +142,25 @@ func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(res)
+}
+
+// handleStats serves GET /v1/jobs/{id}/stats: the job's resource-
+// attribution document — live while it runs, frozen (and byte-stable
+// across restarts) once terminal.
+func handleStats(m *Manager, w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	b, err := m.Stats(j)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%s", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
 }
 
 func handleCancel(m *Manager, w http.ResponseWriter, r *http.Request) {
@@ -223,7 +247,7 @@ func handleEvaluate(m *Manager, w http.ResponseWriter, r *http.Request) {
 	if kind == pdngrid.VoltageStacked {
 		d.ConvertersPerCore = converters
 	}
-	out, err := m.EvaluateDesign(sp, d)
+	out, err := m.EvaluateDesign(r.Context(), sp, d)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "evaluate: %s", err)
 		return

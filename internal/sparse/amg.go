@@ -13,14 +13,18 @@ package sparse
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 
 	"voltstack/internal/telemetry"
 )
 
 var (
-	mAMGBuilds = telemetry.NewCounter("sparse_amg_builds_total")
-	mAMGLevels = telemetry.NewHistogram("sparse_amg_levels")
+	mAMGBuilds       = telemetry.NewCounter("sparse_amg_builds_total")
+	mAMGLevels       = telemetry.NewHistogram("sparse_amg_levels")
+	mAMGLastLevels   = telemetry.NewGauge("sparse_amg_last_levels")
+	mAMGLastCoarseN  = telemetry.NewGauge("sparse_amg_last_coarse_n")
+	mAMGOpComplexity = telemetry.NewGauge("sparse_amg_operator_complexity")
 )
 
 // AMGOptions tunes the multigrid hierarchy. The zero value selects the
@@ -73,6 +77,7 @@ type AMGPrec struct {
 	coarse *SkylineChol
 	opts   AMGOptions
 	ns     []int // unknowns per level, finest first, coarsest last
+	nnzs   []int // operator nonzeros per level, finest first
 	// V-cycle scratch, one vector per level: xs/bs carry the coarse-level
 	// iterate and right-hand side (index 0 unused — the finest-level pair
 	// is the caller's r/z), rs the smoothing/restriction residual.
@@ -87,7 +92,7 @@ func NewAMG(a *CSR, opts AMGOptions) (*AMGPrec, error) {
 	t0 := telemetry.Now()
 	defer func() { mPrecondBuilds.Add(1); mPrecondSeconds.Since(t0) }()
 	opts = opts.withDefaults()
-	p := &AMGPrec{opts: opts, ns: []int{a.N()}}
+	p := &AMGPrec{opts: opts, ns: []int{a.N()}, nnzs: []int{a.NNZ()}}
 	cur := a
 	for cur.N() > opts.CoarseSize && len(p.levels)+1 < opts.MaxLevels {
 		lvl, coarseA, err := coarsenPairwise(cur)
@@ -99,6 +104,7 @@ func NewAMG(a *CSR, opts AMGOptions) (*AMGPrec, error) {
 		}
 		p.levels = append(p.levels, lvl)
 		p.ns = append(p.ns, lvl.nc)
+		p.nnzs = append(p.nnzs, coarseA.NNZ())
 		cur = coarseA
 	}
 	f, err := FactorCholesky(cur)
@@ -107,9 +113,50 @@ func NewAMG(a *CSR, opts AMGOptions) (*AMGPrec, error) {
 	}
 	p.coarse = f
 	p.allocScratch()
+	st := p.Stats()
 	mAMGBuilds.Add(1)
 	mAMGLevels.Observe(float64(len(p.ns)))
+	mAMGLastLevels.Set(float64(st.Levels))
+	mAMGLastCoarseN.Set(float64(st.CoarseN))
+	mAMGOpComplexity.Set(st.OperatorComplexity)
+	telemetry.RecordAMGHierarchy(p.ns, st.OperatorComplexity)
+	if telemetry.EventsEnabled() {
+		telemetry.Event(slog.LevelInfo, "sparse: AMG hierarchy built",
+			slog.Int("levels", st.Levels),
+			slog.Int("finest_n", p.ns[0]),
+			slog.Int("coarse_n", st.CoarseN),
+			slog.Float64("operator_complexity", st.OperatorComplexity))
+	}
 	return p, nil
+}
+
+// AMGStats describes a built hierarchy: depth, per-level sizes, and the
+// operator-complexity ratio Σ level nnz / finest nnz (a grid-independent
+// memory/work overhead figure; ~2 is typical for pairwise aggregation).
+type AMGStats struct {
+	Levels             int     `json:"levels"`
+	LevelUnknowns      []int   `json:"level_unknowns"`
+	LevelNNZ           []int   `json:"level_nnz"`
+	OperatorComplexity float64 `json:"operator_complexity"`
+	CoarseN            int     `json:"coarse_n"`
+}
+
+// Stats returns the hierarchy shape of a built preconditioner.
+func (p *AMGPrec) Stats() AMGStats {
+	st := AMGStats{
+		Levels:        len(p.ns),
+		LevelUnknowns: append([]int(nil), p.ns...),
+		LevelNNZ:      append([]int(nil), p.nnzs...),
+		CoarseN:       p.CoarseN(),
+	}
+	total := 0
+	for _, nnz := range p.nnzs {
+		total += nnz
+	}
+	if len(p.nnzs) > 0 && p.nnzs[0] > 0 {
+		st.OperatorComplexity = float64(total) / float64(p.nnzs[0])
+	}
+	return st
 }
 
 // Levels returns the hierarchy depth, counting the coarsest level.

@@ -355,6 +355,12 @@ func (p *IC0Prec) Apply(r, z []float64) {
 type CGResult struct {
 	Iterations int
 	Residual   float64 // final relative residual ‖b−Ax‖₂/‖b‖₂
+
+	// Trace is the per-iteration convergence trajectory, populated only
+	// while the flight recorder is enabled (on both success and failure);
+	// nil otherwise. Exposing it on success is what lets per-job exemplars
+	// attach a residual timeline to slow-but-converged solves.
+	Trace *SolveTrace
 }
 
 // PCGWorkspace holds the scratch vectors of a PCG solve so repeated solves
@@ -440,12 +446,21 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 	if x0 != nil {
 		copy(x, x0)
 	}
+	// sealOK attaches the sealed convergence trace to a successful result
+	// when the recorder is on; a no-op (and no allocation) otherwise.
+	sealOK := func(result CGResult) CGResult {
+		if rec != nil {
+			result.Trace = rec.seal(result)
+		}
+		return result
+	}
 	r := ws.r
 	a.MulVec(x, r)
 	Sub(b, r, r)
 	normB := Norm2(b)
 	if normB == 0 {
-		return x, CGResult{0, 0}, nil // b = 0 => x = 0 (or x0 residual already 0)
+		// b = 0 => x = 0 (or x0 residual already 0)
+		return x, sealOK(CGResult{Iterations: 0, Residual: 0}), nil
 	}
 
 	z, p, ap := ws.z, ws.p, ws.ap
@@ -458,7 +473,7 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 		rec.record(res)
 	}
 	if res <= tol {
-		return x, CGResult{0, res}, nil
+		return x, sealOK(CGResult{Iterations: 0, Residual: res}), nil
 	}
 	for it := 1; it <= maxIter; it++ {
 		a.MulVec(p, ap)
@@ -474,11 +489,12 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 			Sub(b, ap, ap)
 			res = Norm2(ap) / normB
 			err := fmt.Errorf("sparse: PCG: matrix not SPD (pᵀAp=%g at iter %d)", pap, it)
-			result := CGResult{it - 1, res}
+			result := CGResult{Iterations: it - 1, Residual: res}
 			if rec != nil {
 				rec.record(res)
 				rec.trace.BreakdownIter = it
 				err = rec.finish(result, err)
+				result.Trace = &rec.trace
 			}
 			return x, result, err
 		}
@@ -499,7 +515,7 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 			rec.record(res)
 		}
 		if res <= tol {
-			return x, CGResult{it, res}, nil
+			return x, sealOK(CGResult{Iterations: it, Residual: res}), nil
 		}
 		prec.Apply(r, z)
 		rzNew := Dot(r, z)
@@ -510,10 +526,12 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 		}
 	}
 	err := fmt.Errorf("%w: residual %.3e after %d iterations", ErrNoConvergence, res, maxIter)
+	result := CGResult{Iterations: maxIter, Residual: res}
 	if rec != nil {
-		err = rec.finish(CGResult{maxIter, res}, err)
+		err = rec.finish(result, err)
+		result.Trace = &rec.trace
 	}
-	return x, CGResult{maxIter, res}, err
+	return x, result, err
 }
 
 // CG is PCG without preconditioning.

@@ -117,9 +117,9 @@ func (r *traceRecorder) record(res float64) {
 	r.n++
 }
 
-// finish seals the recorder into its trace, flattening the ring into
-// iteration order and wrapping err (if any) so the trace travels with it.
-func (r *traceRecorder) finish(res CGResult, err error) error {
+// seal flattens the recorder into its trace (ring in iteration order,
+// final stats filled) and returns it. Call exactly once per solve.
+func (r *traceRecorder) seal(res CGResult) *SolveTrace {
 	t := &r.trace
 	t.Iterations = res.Iterations
 	t.FinalResidual = res.Residual
@@ -132,6 +132,13 @@ func (r *traceRecorder) finish(res CGResult, err error) error {
 	} else {
 		t.Residuals = append(t.Residuals, r.tail[:r.n]...)
 	}
+	return t
+}
+
+// finish seals the recorder into its trace and wraps err (if any) so the
+// trace travels with it.
+func (r *traceRecorder) finish(res CGResult, err error) error {
+	t := r.seal(res)
 	if err == nil {
 		return nil
 	}

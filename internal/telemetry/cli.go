@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"sync"
 )
@@ -235,14 +236,30 @@ func dumpMetrics(path string) error {
 	return writeFileWith(path+".prom", std.WritePrometheus)
 }
 
+// writeFileWith writes the dump to a temp file in the destination
+// directory and renames it into place, so an interrupted shutdown (a
+// second SIGTERM mid-drain, a crash in another flush step) can never leave
+// a truncated dump — in particular a -trace file with no closing bracket —
+// at the requested path.
 func writeFileWith(path string, write func(w io.Writer) error) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

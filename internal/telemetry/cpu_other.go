@@ -1,0 +1,7 @@
+//go:build !unix
+
+package telemetry
+
+// ProcessCPUSeconds is unavailable on this platform; per-job CPU
+// attribution degrades to 0 (wall time is still recorded).
+func ProcessCPUSeconds() float64 { return 0 }

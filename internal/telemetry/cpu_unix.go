@@ -1,0 +1,20 @@
+//go:build unix
+
+package telemetry
+
+import "syscall"
+
+// ProcessCPUSeconds returns the process's cumulative user+system CPU time
+// in seconds, from getrusage(RUSAGE_SELF). Deltas of this value bracket a
+// job's execution to attribute CPU cost; under concurrent jobs the
+// attribution is approximate (it is exact at max-inflight 1).
+func ProcessCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	toSec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return toSec(ru.Utime) + toSec(ru.Stime)
+}

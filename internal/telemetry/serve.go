@@ -73,6 +73,32 @@ func activeTaskNames() []string {
 	return names
 }
 
+// AMG hierarchy tracker behind /statusz: the most recent hierarchy built
+// by sparse.NewAMG (level sizes and operator complexity), recorded only
+// while the process registry is enabled. Rebuild counts come from the
+// sparse_amg_builds_total counter.
+var (
+	amgMu            sync.Mutex
+	amgLevelUnknowns []int64
+	amgOpComplexity  float64
+)
+
+// RecordAMGHierarchy stores the shape of the most recently built AMG
+// hierarchy for /statusz. No-op while process telemetry is disabled.
+func RecordAMGHierarchy(levelUnknowns []int, opComplexity float64) {
+	if !std.on.Load() {
+		return
+	}
+	sizes := make([]int64, len(levelUnknowns))
+	for i, n := range levelUnknowns {
+		sizes[i] = int64(n)
+	}
+	amgMu.Lock()
+	amgLevelUnknowns = sizes
+	amgOpComplexity = opComplexity
+	amgMu.Unlock()
+}
+
 // StatusSnapshot is the /statusz payload: a coarse live view of where a
 // run is, assembled from the metric registry's counters.
 type StatusSnapshot struct {
@@ -86,6 +112,18 @@ type StatusSnapshot struct {
 	PCGIterations   int64 `json:"pcg_iterations"`
 	PCGNonConverged int64 `json:"pcg_nonconverged"`
 	MCTrials        int64 `json:"mc_trials"`
+
+	// AMG preconditioner hierarchy: rebuild count plus the shape of the
+	// most recent hierarchy (finest → coarsest unknowns per level and the
+	// operator-complexity ratio Σ level nnz / finest nnz).
+	AMGRebuilds           int64   `json:"amg_rebuilds"`
+	AMGLevels             int     `json:"amg_levels,omitempty"`
+	AMGLevelUnknowns      []int64 `json:"amg_level_unknowns,omitempty"`
+	AMGOperatorComplexity float64 `json:"amg_operator_complexity,omitempty"`
+
+	// Exemplars link the slowest observed solves back to their (trace ID,
+	// span ID) with convergence evidence attached.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Status assembles the current snapshot from the process registry.
@@ -100,7 +138,16 @@ func Status() StatusSnapshot {
 		PCGIterations:   std.Counter("sparse_pcg_iterations_total").Value(),
 		PCGNonConverged: std.Counter("sparse_pcg_nonconverged_total").Value(),
 		MCTrials:        std.Counter("em_mc_trials_total").Value(),
+		AMGRebuilds:     std.Counter("sparse_amg_builds_total").Value(),
 	}
+	amgMu.Lock()
+	if len(amgLevelUnknowns) > 0 {
+		s.AMGLevels = len(amgLevelUnknowns)
+		s.AMGLevelUnknowns = append([]int64(nil), amgLevelUnknowns...)
+		s.AMGOperatorComplexity = amgOpComplexity
+	}
+	amgMu.Unlock()
+	s.Exemplars = stdExemplars.Snapshot()
 	if s.Active == nil {
 		s.Active = []string{}
 	}

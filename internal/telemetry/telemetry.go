@@ -37,7 +37,8 @@ const histBuckets = 64
 // toggled with Enable/Disable. A nil *Registry is a valid no-op receiver
 // for every method.
 type Registry struct {
-	on atomic.Bool
+	on     atomic.Bool
+	parent *Registry // layered registry: writes forward to same-named parent instruments
 
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -48,6 +49,17 @@ type Registry struct {
 // NewRegistry returns an empty, enabled registry.
 func NewRegistry() *Registry {
 	r := newRegistry()
+	r.on.Store(true)
+	return r
+}
+
+// NewScopedRegistry returns an enabled registry layered over parent: every
+// write to one of its instruments also writes the same-named instrument of
+// parent (which applies its own gate, so a disabled parent records
+// nothing). This is how per-job scopes feed process-global aggregates.
+func NewScopedRegistry(parent *Registry) *Registry {
+	r := newRegistry()
+	r.parent = parent
 	r.on.Store(true)
 	return r
 }
@@ -111,6 +123,9 @@ func (r *Registry) Counter(name string) *Counter {
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{name: name, on: &r.on}
+		if r.parent != nil {
+			c.parent = r.parent.Counter(name)
+		}
 		r.counters[name] = c
 	}
 	return c
@@ -126,6 +141,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{name: name, on: &r.on}
+		if r.parent != nil {
+			g.parent = r.parent.Gauge(name)
+		}
 		r.gauges[name] = g
 	}
 	return g
@@ -143,6 +161,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 		h = &Histogram{name: name, on: &r.on}
 		h.minBits.Store(math.Float64bits(math.Inf(1)))
 		h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+		if r.parent != nil {
+			h.parent = r.parent.Histogram(name)
+		}
 		r.hists[name] = h
 	}
 	return h
@@ -175,18 +196,21 @@ func (r *Registry) Reset() {
 
 // Counter is a monotonically increasing int64 metric.
 type Counter struct {
-	name string
-	on   *atomic.Bool
-	v    atomic.Int64
+	name   string
+	on     *atomic.Bool
+	parent *Counter // same-named instrument of the registry's parent, if layered
+	v      atomic.Int64
 }
 
 // Add increments the counter by n. No-op on a nil counter or a disabled
-// registry.
+// registry. In a layered registry the write also forwards to the parent's
+// same-named counter (subject to the parent's own gate).
 func (c *Counter) Add(n int64) {
 	if c == nil || !c.on.Load() {
 		return
 	}
 	c.v.Add(n)
+	c.parent.Add(n)
 }
 
 // Value returns the current count (0 for a nil counter).
@@ -199,17 +223,20 @@ func (c *Counter) Value() int64 {
 
 // Gauge is a float64 metric that holds the most recently set value.
 type Gauge struct {
-	name string
-	on   *atomic.Bool
-	bits atomic.Uint64
+	name   string
+	on     *atomic.Bool
+	parent *Gauge
+	bits   atomic.Uint64
 }
 
-// Set stores v. No-op on a nil gauge or a disabled registry.
+// Set stores v. No-op on a nil gauge or a disabled registry. Forwards to
+// the layered parent's same-named gauge, if any.
 func (g *Gauge) Set(v float64) {
 	if g == nil || !g.on.Load() {
 		return
 	}
 	g.bits.Store(math.Float64bits(v))
+	g.parent.Set(v)
 }
 
 // Value returns the last set value (0 for a nil gauge).
@@ -226,6 +253,7 @@ func (g *Gauge) Value() float64 {
 type Histogram struct {
 	name    string
 	on      *atomic.Bool
+	parent  *Histogram
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
 	minBits atomic.Uint64
@@ -253,15 +281,20 @@ func bucketIndex(v float64) int {
 	return e
 }
 
-// Observe records one sample. Negative or NaN samples are clamped to 0.
-// No-op on a nil histogram or a disabled registry.
+// Observe records one sample. Negative or NaN samples are clamped to 0 and
+// +Inf to MaxFloat64, so the side stats stay finite and JSON-encodable.
+// No-op on a nil histogram or a disabled registry. Forwards to the layered
+// parent's same-named histogram, if any.
 func (h *Histogram) Observe(v float64) {
 	if h == nil || !h.on.Load() {
 		return
 	}
 	if v < 0 || math.IsNaN(v) {
 		v = 0
+	} else if math.IsInf(v, 1) {
+		v = math.MaxFloat64
 	}
+	h.parent.Observe(v)
 	h.buckets[bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
@@ -318,37 +351,83 @@ func (h *Histogram) Mean() float64 {
 	return 0
 }
 
-// snapshot types for the dumps.
-type histSnapshot struct {
-	Count   int64   `json:"count"`
-	Sum     float64 `json:"sum"`
-	Min     float64 `json:"min"`
-	Max     float64 `json:"max"`
-	Mean    float64 `json:"mean"`
-	Buckets []struct {
-		LE    float64 `json:"le"`
-		Count int64   `json:"count"`
-	} `json:"buckets,omitempty"`
+// HistogramBucket is one populated log2 bucket of a histogram snapshot.
+type HistogramBucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
 }
 
-func (h *Histogram) snapshot() histSnapshot {
-	var s histSnapshot
+// HistogramSnapshot is a point-in-time copy of one histogram. An empty
+// histogram snapshots as all zeros (never the ±Inf min/max sentinels), and
+// every field is sanitized to a finite value, so snapshots are always
+// JSON-encodable — including per-job scoped dumps of untouched instruments.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	Mean    float64           `json:"mean"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// finite clamps NaN and ±Inf to 0 / ±MaxFloat64 so the value survives
+// encoding/json (which rejects non-finite floats).
+func finite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
 	s.Count = h.count.Load()
-	s.Sum = math.Float64frombits(h.sumBits.Load())
+	s.Sum = finite(math.Float64frombits(h.sumBits.Load()))
 	if s.Count > 0 {
-		s.Min = math.Float64frombits(h.minBits.Load())
-		s.Max = math.Float64frombits(h.maxBits.Load())
-		s.Mean = s.Sum / float64(s.Count)
+		s.Min = finite(math.Float64frombits(h.minBits.Load()))
+		s.Max = finite(math.Float64frombits(h.maxBits.Load()))
+		s.Mean = finite(s.Sum / float64(s.Count))
 	}
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {
-			s.Buckets = append(s.Buckets, struct {
-				LE    float64 `json:"le"`
-				Count int64   `json:"count"`
-			}{math.Ldexp(1, i), n})
+			s.Buckets = append(s.Buckets, HistogramBucket{math.Ldexp(1, i), n})
 		}
 	}
 	return s
+}
+
+// RegistrySnapshot is a point-in-time copy of every instrument in a
+// registry, with finite (JSON-safe) float values. It is the JSON shape of
+// WriteJSON and the registry portion of per-job stats documents.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every instrument. Safe on a nil registry (empty maps).
+func (r *Registry) Snapshot() RegistrySnapshot {
+	out := RegistrySnapshot{map[string]int64{}, map[string]float64{}, map[string]HistogramSnapshot{}}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		out.Counters[n] = c.v.Load()
+	}
+	for n, g := range r.gauges {
+		out.Gauges[n] = finite(math.Float64frombits(g.bits.Load()))
+	}
+	for n, h := range r.hists {
+		out.Histograms[n] = h.snapshot()
+	}
+	return out
 }
 
 // sortedNames returns the sorted keys of a map, for stable dumps.
@@ -368,25 +447,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		_, err := io.WriteString(w, "{}\n")
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := struct {
-		Counters   map[string]int64        `json:"counters"`
-		Gauges     map[string]float64      `json:"gauges"`
-		Histograms map[string]histSnapshot `json:"histograms"`
-	}{map[string]int64{}, map[string]float64{}, map[string]histSnapshot{}}
-	for n, c := range r.counters {
-		out.Counters[n] = c.v.Load()
-	}
-	for n, g := range r.gauges {
-		out.Gauges[n] = math.Float64frombits(g.bits.Load())
-	}
-	for n, h := range r.hists {
-		out.Histograms[n] = h.snapshot()
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(r.Snapshot())
 }
 
 // WritePrometheus dumps every instrument in the Prometheus text exposition
@@ -404,7 +467,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, n := range sortedNames(r.gauges) {
-		v := math.Float64frombits(r.gauges[n].bits.Load())
+		v := finite(math.Float64frombits(r.gauges[n].bits.Load()))
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, v); err != nil {
 			return err
 		}
@@ -429,7 +492,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, math.Float64frombits(h.sumBits.Load()), n, count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, finite(math.Float64frombits(h.sumBits.Load())), n, count); err != nil {
 			return err
 		}
 	}

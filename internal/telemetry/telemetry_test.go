@@ -256,3 +256,66 @@ func TestProgressPrints(t *testing.T) {
 		t.Errorf("progress output missing fields: %q", out)
 	}
 }
+
+// TestEmptyHistogramSnapshotFinite pins the satellite fix for NaN leakage:
+// a created-but-never-observed histogram must snapshot and serialize as
+// all-zeros — 0/0 mean must never escape as NaN, which json.Marshal would
+// reject and Prometheus scrapes would mis-parse.
+func TestEmptyHistogramSnapshotFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_seconds")
+	snap := r.Snapshot()
+	h, ok := snap.Histograms["empty_seconds"]
+	if !ok {
+		t.Fatal("empty histogram missing from snapshot")
+	}
+	if h.Count != 0 || h.Sum != 0 || h.Mean != 0 || h.Min != 0 || h.Max != 0 {
+		t.Fatalf("empty histogram snapshot not all-zero: %+v", h)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on empty histogram: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+}
+
+// TestNonFiniteValuesSanitized checks that NaN gauges and +Inf
+// observations cannot poison the JSON or Prometheus renderings.
+func TestNonFiniteValuesSanitized(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g_nan").Set(math.NaN())
+	r.Gauge("g_inf").Set(math.Inf(1))
+	h := r.Histogram("h")
+	h.Observe(math.Inf(1)) // clamped, not poisonous
+	h.Observe(2)
+
+	snap := r.Snapshot()
+	if v := snap.Gauges["g_nan"]; v != 0 {
+		t.Errorf("NaN gauge snapshot = %g, want 0", v)
+	}
+	if v := snap.Gauges["g_inf"]; math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("Inf gauge snapshot not finite: %g", v)
+	}
+	hs := snap.Histograms["h"]
+	if hs.Count != 2 || math.IsInf(hs.Sum, 0) || math.IsNaN(hs.Sum) || math.IsNaN(hs.Mean) {
+		t.Errorf("histogram snapshot not finite: %+v", hs)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON with non-finite inputs: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("WriteJSON emitted invalid JSON:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); strings.Contains(s, "NaN") {
+		t.Errorf("Prometheus rendering leaked NaN:\n%s", s)
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"io"
 	"sync"
@@ -27,12 +28,21 @@ type Tracer struct {
 }
 
 type traceEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"` // microseconds since the tracer's origin
-	Dur  float64 `json:"dur"`
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	Ts   float64    `json:"ts"` // microseconds since the tracer's origin
+	Dur  float64    `json:"dur"`
+	PID  int        `json:"pid"`
+	TID  int        `json:"tid"`
+	Args *traceArgs `json:"args,omitempty"`
+}
+
+// traceArgs carries the W3C trace context on annotated spans, so a span in
+// the Chrome trace viewer can be tied back to the request that caused it.
+type traceArgs struct {
+	TraceID      string `json:"trace_id"`
+	SpanID       string `json:"span_id"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 }
 
 // Span is one timed region. End it exactly once; child spans (Start) share
@@ -44,6 +54,8 @@ type Span struct {
 	root   bool
 	start  time.Time
 	ended  atomic.Bool
+	tc     TraceContext // this span's own identity (zero when unannotated)
+	parent [8]byte      // span ID of the parent span/request, if any
 }
 
 // NewTracer returns an empty tracer whose timestamps are relative to now.
@@ -101,12 +113,40 @@ func (t *Tracer) Start(name string) *Span {
 	return &Span{tracer: t, name: name, lane: lane, root: true, start: time.Now()}
 }
 
-// Start opens a child span on the same lane as s. Nil-safe.
+// StartTrace opens a root span annotated with the trace tc belongs to: the
+// span gets a fresh span ID in tc's trace, with tc's span as its parent.
+// An invalid tc degrades to a plain unannotated Start.
+func (t *Tracer) StartTrace(name string, tc TraceContext) *Span {
+	sp := t.Start(name)
+	if sp == nil || !tc.Valid() {
+		return sp
+	}
+	sp.parent = tc.SpanID
+	sp.tc = tc.Child()
+	return sp
+}
+
+// Start opens a child span on the same lane as s, inheriting s's trace
+// annotation (same trace ID, fresh span ID, s as parent). Nil-safe.
 func (s *Span) Start(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{tracer: s.tracer, name: name, lane: s.lane, start: time.Now()}
+	child := &Span{tracer: s.tracer, name: name, lane: s.lane, start: time.Now()}
+	if s.tc.Valid() {
+		child.parent = s.tc.SpanID
+		child.tc = s.tc.Child()
+	}
+	return child
+}
+
+// TraceContext returns the span's own trace identity (zero for a nil or
+// unannotated span). Use it to key exemplars to the exact span.
+func (s *Span) TraceContext() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return s.tc
 }
 
 // End closes the span and records it. Nil-safe and idempotent.
@@ -116,6 +156,14 @@ func (s *Span) End() {
 	}
 	t := s.tracer
 	dur := time.Since(s.start)
+	var args *traceArgs
+	if s.tc.Valid() {
+		args = &traceArgs{
+			TraceID:      s.tc.TraceIDString(),
+			SpanID:       s.tc.SpanIDString(),
+			ParentSpanID: hexSpanID(s.parent),
+		}
+	}
 	t.mu.Lock()
 	if len(t.events) < maxTraceEvents {
 		t.events = append(t.events, traceEvent{
@@ -125,6 +173,7 @@ func (s *Span) End() {
 			Dur:  float64(dur) / float64(time.Microsecond),
 			PID:  1,
 			TID:  s.lane + 1,
+			Args: args,
 		})
 	} else {
 		t.dropped.Add(1)
@@ -156,16 +205,33 @@ func (t *Tracer) Events() []TraceEvent {
 	out := make([]TraceEvent, len(t.events))
 	for i, e := range t.events {
 		out[i] = TraceEvent{Name: e.Name, Lane: e.TID, StartUS: e.Ts, DurUS: e.Dur}
+		if e.Args != nil {
+			out[i].TraceID = e.Args.TraceID
+			out[i].SpanID = e.Args.SpanID
+			out[i].ParentSpanID = e.Args.ParentSpanID
+		}
 	}
 	return out
 }
 
-// TraceEvent is the public view of one recorded span.
+// TraceEvent is the public view of one recorded span. TraceID/SpanID are
+// set only on trace-annotated spans.
 type TraceEvent struct {
-	Name    string
-	Lane    int
-	StartUS float64
-	DurUS   float64
+	Name         string
+	Lane         int
+	StartUS      float64
+	DurUS        float64
+	TraceID      string
+	SpanID       string
+	ParentSpanID string
+}
+
+// hexSpanID renders an 8-byte span ID as lowercase hex ("" when zero).
+func hexSpanID(id [8]byte) string {
+	if id == [8]byte{} {
+		return ""
+	}
+	return hex.EncodeToString(id[:])
 }
 
 // WriteChromeTrace writes the trace in Chrome trace_event JSON array-of-objects

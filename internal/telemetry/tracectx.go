@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"sync/atomic"
+)
+
+// TraceContext identifies one request end-to-end: a 16-byte trace ID shared
+// by every span the request touches and an 8-byte span ID naming the current
+// operation. The wire form is the W3C Trace Context `traceparent` header
+// (version 00):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// The zero value is "no trace" and is what TraceContextFrom returns for a
+// context that carries nothing; every consumer checks Valid before paying
+// for annotation, so propagating a zero TraceContext costs nothing.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Flags   byte
+}
+
+// Valid reports whether the trace ID and span ID are both non-zero, per the
+// W3C spec (an all-zero ID means "absent").
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != [8]byte{}
+}
+
+// TraceIDString returns the 32-char lowercase-hex trace ID ("" when invalid).
+func (tc TraceContext) TraceIDString() string {
+	if !tc.Valid() {
+		return ""
+	}
+	return hex.EncodeToString(tc.TraceID[:])
+}
+
+// SpanIDString returns the 16-char lowercase-hex span ID ("" when invalid).
+func (tc TraceContext) SpanIDString() string {
+	if !tc.Valid() {
+		return ""
+	}
+	return hex.EncodeToString(tc.SpanID[:])
+}
+
+// Traceparent renders the W3C traceparent header value. Returns "" for an
+// invalid (zero) context so callers can set headers unconditionally.
+func (tc TraceContext) Traceparent() string {
+	if !tc.Valid() {
+		return ""
+	}
+	// 00-<32 hex>-<16 hex>-<2 hex>
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], tc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], tc.SpanID[:])
+	b[52] = '-'
+	hex.Encode(b[53:55], []byte{tc.Flags})
+	return string(b[:])
+}
+
+// Errors returned by ParseTraceparent. Sentinels, not fmt.Errorf, so the
+// common reject paths allocate nothing beyond the call itself.
+var (
+	errTraceparentSyntax  = errors.New("telemetry: malformed traceparent")
+	errTraceparentVersion = errors.New("telemetry: unsupported traceparent version")
+	errTraceparentZeroID  = errors.New("telemetry: traceparent has all-zero trace or span id")
+)
+
+// ParseTraceparent parses a W3C traceparent header value. Only version 00
+// is accepted; hex must be lowercase per the spec; all-zero trace or span
+// IDs are rejected.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, errTraceparentSyntax
+	}
+	if s[0] != '0' || s[1] != '0' {
+		// "ff" is forbidden outright; anything else non-zero is a future
+		// version we do not speak — reject rather than mis-parse.
+		return tc, errTraceparentVersion
+	}
+	if !isLowerHex(s[3:35]) || !isLowerHex(s[36:52]) || !isLowerHex(s[53:55]) {
+		return tc, errTraceparentSyntax
+	}
+	hexDecode(tc.TraceID[:], s[3:35])
+	hexDecode(tc.SpanID[:], s[36:52])
+	var f [1]byte
+	hexDecode(f[:], s[53:55])
+	tc.Flags = f[0]
+	if !tc.Valid() {
+		return TraceContext{}, errTraceparentZeroID
+	}
+	return tc, nil
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// hexDecode decodes validated lowercase hex into dst (len(s) == 2*len(dst)).
+func hexDecode(dst []byte, s string) {
+	for i := range dst {
+		dst[i] = unhex(s[2*i])<<4 | unhex(s[2*i+1])
+	}
+}
+
+func unhex(c byte) byte {
+	if c <= '9' {
+		return c - '0'
+	}
+	return c - 'a' + 10
+}
+
+// spanIDSeq generates span IDs: a crypto-seeded counter run through a
+// SplitMix64 finalizer, so IDs are unique per process and effectively
+// unpredictable without paying for crypto/rand per span.
+var spanIDSeq atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		spanIDSeq.Store(binary.LittleEndian.Uint64(seed[:]))
+	}
+}
+
+func nextSpanID() [8]byte {
+	x := spanIDSeq.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], x)
+	if id == [8]byte{} { // astronomically unlikely, but zero means "absent"
+		id[7] = 1
+	}
+	return id
+}
+
+// NewTrace mints a fresh trace: a crypto-random trace ID, a fresh span ID,
+// and the "sampled" flag set.
+func NewTrace() TraceContext {
+	var tc TraceContext
+	if _, err := rand.Read(tc.TraceID[:]); err != nil || tc.TraceID == [16]byte{} {
+		// Degrade to the span-ID generator rather than return an invalid
+		// context; losing cryptographic quality here only weakens ID
+		// unpredictability, not correctness.
+		a, b := nextSpanID(), nextSpanID()
+		copy(tc.TraceID[:8], a[:])
+		copy(tc.TraceID[8:], b[:])
+	}
+	tc.SpanID = nextSpanID()
+	tc.Flags = 0x01
+	return tc
+}
+
+// Child returns a context in the same trace with a fresh span ID. The
+// receiver's span becomes (by convention) the parent of whatever the child
+// context names. Child of an invalid context is invalid.
+func (tc TraceContext) Child() TraceContext {
+	if !tc.Valid() {
+		return TraceContext{}
+	}
+	tc.SpanID = nextSpanID()
+	return tc
+}
+
+type traceCtxKey struct{}
+
+// WithTraceContext returns a context carrying tc. Storing an invalid tc is
+// allowed and equivalent to storing nothing.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom extracts the trace context from ctx: a directly stored
+// TraceContext wins, then the trace of an attached job Scope; otherwise the
+// zero TraceContext.
+func TraceContextFrom(ctx context.Context) TraceContext {
+	if ctx == nil {
+		return TraceContext{}
+	}
+	if tc, ok := ctx.Value(traceCtxKey{}).(TraceContext); ok {
+		return tc
+	}
+	if s, ok := ctx.Value(scopeCtxKey{}).(*Scope); ok && s != nil {
+		return s.tc
+	}
+	return TraceContext{}
+}
+
+// StartSpanCtx opens a root span on the process tracer annotated with the
+// trace context carried by ctx (fresh span ID, ctx's span as parent). When
+// tracing is disabled it returns nil without touching ctx — zero work,
+// zero allocations.
+func StartSpanCtx(ctx context.Context, name string) *Span {
+	t := stdTracer.Load()
+	if t == nil {
+		return nil
+	}
+	return t.StartTrace(name, TraceContextFrom(ctx))
+}
+
+// StartSpanTrace opens a root span on the process tracer annotated with tc
+// directly. Nil when tracing is disabled.
+func StartSpanTrace(name string, tc TraceContext) *Span {
+	return stdTracer.Load().StartTrace(name, tc)
+}
