@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve bench-scaling bench-diff fuzz golden profile metrics-demo provenance-demo serve-demo trace-demo
+.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve bench-scaling bench-kernels bench-diff fuzz golden profile metrics-demo provenance-demo serve-demo trace-demo
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,9 @@ bench-parallel:
 
 # bench-solve measures the prepared-solve engine against the historical
 # rebuild-everything path (closed-loop solve, explore sweep slice, ext-em-mc)
-# plus the multi-RHS serial-vs-batch scaling pairs, and renders the
-# fresh-vs-prepared and serial-vs-batch speedups into BENCH_solve.json.
+# plus the multi-RHS serial-vs-batch scaling pairs and the intra-solve
+# kernel workers-1-vs-8 pairs, and renders the fresh-vs-prepared,
+# serial-vs-batch and kernel speedups into BENCH_solve.json.
 bench-solve:
 	$(GO) test -bench '^BenchmarkSolve' -run '^$$' -count 3 -timeout 60m . | $(GO) run ./cmd/benchjson > BENCH_solve.json
 	@cat BENCH_solve.json
@@ -41,6 +42,14 @@ bench-solve:
 # under -short).
 bench-scaling:
 	$(GO) test -bench '^BenchmarkSolveScale' -run '^$$' -count 3 -timeout 60m . | $(GO) run ./cmd/benchjson
+
+# bench-kernels runs only the intra-solve kernel scaling pairs: the same
+# solve (or kernel) with the kernel worker count at 1 and 8. Results are
+# bit-identical by construction, so the pair ratio is the pure scheduling
+# cost or win at that node count. The 1M-node points are skipped under
+# -short.
+bench-kernels:
+	$(GO) test -bench '^BenchmarkSolveScale.*Workers[18]$$' -run '^$$' -count 3 -timeout 60m . | $(GO) run ./cmd/benchjson
 
 # bench-diff runs a quick (-benchtime=1x -short) solve-bench smoke, renders
 # it with benchjson and gates its fresh-vs-prepared / serial-vs-batch
@@ -57,13 +66,15 @@ bench-telemetry:
 	$(GO) test -bench 'Fig5aTelemetry' -run '^$$' -count 5 .
 
 # fuzz runs every fuzz target for 30s: CSV parsing, job-request decoding,
-# the cache-fingerprint keying contract, and batch-vs-serial solver
-# equivalence. (`go test -fuzz` takes one target per invocation.)
+# the cache-fingerprint keying contract, batch-vs-serial solver
+# equivalence, and the IC(0) level-schedule topology/bit-equality
+# contract. (`go test -fuzz` takes one target per invocation.)
 fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzParseCSV -fuzztime 30s
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzDecodeJobRequest -fuzztime 30s
 	$(GO) test ./internal/pdngrid -run '^$$' -fuzz FuzzCacheFingerprint -fuzztime 30s
 	$(GO) test ./internal/sparse/sparsetest -run '^$$' -fuzz FuzzBatchSerialEquivalence -fuzztime 30s
+	$(GO) test ./internal/sparse/sparsetest -run '^$$' -fuzz FuzzLevelSchedule -fuzztime 30s
 
 # golden regenerates the pinned paper-number snapshots after a deliberate
 # model change.

@@ -13,8 +13,9 @@
 //
 //	benchjson -diff old.json new.json -tolerance 0.30
 //
-// Every Fresh/Prepared and Serial/Batch speedup present in both reports is
-// compared; the exit status is 1 when any speedup regressed by more than
+// Every Fresh/Prepared, Serial/Batch and Workers1/Workers8 speedup present
+// in both reports is compared; the exit status is 1 when any speedup
+// regressed by more than
 // the tolerance fraction (default 0.30). Raw ns/op is machine- and
 // load-dependent, so only the speedup ratios — which divide that noise
 // out — gate.
@@ -66,14 +67,27 @@ type BatchPair struct {
 	Lanes    float64 `json:"lanes,omitempty"`
 }
 
+// KernelPair couples a Workers1 benchmark with its Workers8 twin (the
+// intra-solve kernel scaling pairs): the same solve with the kernel
+// worker count at 1 and 8, bit-identical by construction, so the ratio
+// is the pure kernel speedup.
+type KernelPair struct {
+	Name       string  `json:"name"`
+	Workers1Ns float64 `json:"workers1_ns_per_op"`
+	Workers8Ns float64 `json:"workers8_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	Nodes      float64 `json:"nodes,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
-	GoOS       string      `json:"goos,omitempty"`
-	GoArch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Entry     `json:"benchmarks"`
-	Pairs      []Pair      `json:"pairs"`
-	BatchPairs []BatchPair `json:"batch_pairs,omitempty"`
+	GoOS        string       `json:"goos,omitempty"`
+	GoArch      string       `json:"goarch,omitempty"`
+	CPU         string       `json:"cpu,omitempty"`
+	Benchmarks  []Entry      `json:"benchmarks"`
+	Pairs       []Pair       `json:"pairs"`
+	BatchPairs  []BatchPair  `json:"batch_pairs,omitempty"`
+	KernelPairs []KernelPair `json:"kernel_pairs,omitempty"`
 }
 
 func main() {
@@ -150,7 +164,8 @@ func main() {
 	}
 	fresh, prepared := map[string]*acc{}, map[string]*acc{}
 	serial, batch := map[string]*acc{}, map[string]*acc{}
-	var order, batchOrder []string
+	workers1, workers8 := map[string]*acc{}, map[string]*acc{}
+	var order, batchOrder, kernelOrder []string
 	for _, e := range rep.Benchmarks {
 		switch {
 		case strings.HasSuffix(e.Name, "Fresh"):
@@ -161,6 +176,10 @@ func main() {
 			add(serial, &batchOrder, batch, strings.TrimSuffix(e.Name, "Serial"), e)
 		case strings.HasSuffix(e.Name, "Batch"):
 			add(batch, &batchOrder, serial, strings.TrimSuffix(e.Name, "Batch"), e)
+		case strings.HasSuffix(e.Name, "Workers1"):
+			add(workers1, &kernelOrder, workers8, strings.TrimSuffix(e.Name, "Workers1"), e)
+		case strings.HasSuffix(e.Name, "Workers8"):
+			add(workers8, &kernelOrder, workers1, strings.TrimSuffix(e.Name, "Workers8"), e)
 		}
 	}
 	for _, stem := range order {
@@ -193,6 +212,23 @@ func main() {
 			bp.Lanes = s.metrics["lanes"]
 		}
 		rep.BatchPairs = append(rep.BatchPairs, bp)
+	}
+	for _, stem := range kernelOrder {
+		w1, w8 := workers1[stem], workers8[stem]
+		if w1 == nil || w8 == nil || w1.n == 0 || w8.n == 0 {
+			continue
+		}
+		m1, m8 := w1.sum/float64(w1.n), w8.sum/float64(w8.n)
+		kp := KernelPair{
+			Name:       stem,
+			Workers1Ns: m1,
+			Workers8Ns: m8,
+			Speedup:    m1 / m8,
+		}
+		if w1.metrics != nil {
+			kp.Nodes = w1.metrics["nodes"]
+		}
+		rep.KernelPairs = append(rep.KernelPairs, kp)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -256,6 +292,9 @@ func runDiff(args []string) int {
 	for _, p := range old.BatchPairs {
 		base["batch/"+p.Name] = speedup{"serial/batch", p.Speedup}
 	}
+	for _, p := range old.KernelPairs {
+		base["kernel/"+p.Name] = speedup{"workers1/workers8", p.Speedup}
+	}
 	check := func(key, name string, now float64) bool {
 		b, ok := base[key]
 		if !ok || b.old <= 0 {
@@ -278,6 +317,10 @@ func runDiff(args []string) int {
 	}
 	for _, p := range cur.BatchPairs {
 		ok = check("batch/"+p.Name, p.Name, p.Speedup) && ok
+		compared++
+	}
+	for _, p := range cur.KernelPairs {
+		ok = check("kernel/"+p.Name, p.Name, p.Speedup) && ok
 		compared++
 	}
 	if compared == 0 {

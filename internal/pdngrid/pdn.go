@@ -52,6 +52,10 @@ type Config struct {
 	Converter         sc.Params
 	Control           sc.Control // nil means open loop
 
+	// Solve configures the linear solver, including Solve.Workers, which
+	// parallelizes the kernels inside each iterative solve (SpMV, IC(0)
+	// triangular sweeps, AMG V-cycles). Results are bit-identical at every
+	// worker count.
 	Solve circuit.SolveOptions
 
 	// ForceFreshSolve bypasses the prepared-solve engine and rebuilds the

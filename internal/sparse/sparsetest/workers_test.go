@@ -1,0 +1,207 @@
+// Worker-count invariance properties: intra-solve kernel parallelism
+// (SpMV row partitions, blocked reductions, level-scheduled IC(0)
+// sweeps, parallel AMG cycles) must be bit-invisible — every solve is
+// bit-identical at workers 1, 2 and 8, at the sparse, circuit and
+// pdngrid levels, and when lane parallelism and kernel parallelism
+// compose under one budget.
+package sparsetest
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"voltstack/internal/circuit"
+	"voltstack/internal/pdngrid"
+	"voltstack/internal/power"
+	"voltstack/internal/sparse"
+)
+
+// precFor builds a fresh preconditioner of the given kind with its
+// kernel workers set. A fresh instance per worker count proves the
+// whole setup path (factorization, level sets, Galerkin hierarchy) is
+// worker-invariant, not just the apply path.
+func precFor(t *testing.T, kind string, a *sparse.CSR, workers int) sparse.Preconditioner {
+	t.Helper()
+	switch kind {
+	case "ic0":
+		p, err := sparse.NewIC0(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetWorkers(workers)
+		return p
+	case "amg":
+		p, err := sparse.NewAMG(a, sparse.AMGOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	case "jacobi":
+		return sparse.NewJacobi(a)
+	default:
+		t.Fatalf("unknown prec kind %q", kind)
+		return nil
+	}
+}
+
+// TestPCGKernelWorkersBitEquality is the sparse-level property: PCGW
+// with a workspace at workers w ≡ the workers=1 solve, bitwise, for
+// every matrix and preconditioner kind.
+func TestPCGKernelWorkersBitEquality(t *testing.T) {
+	for label, a := range matrices() {
+		n := a.N()
+		b := RandomRHS(n, 17)
+		tol, maxIter := 1e-10, 20*n
+		for _, kind := range []string{"ic0", "amg", "jacobi"} {
+			ws := sparse.NewPCGWorkspace(n)
+			ref, refRes, err := sparse.PCGW(a, b, nil, precFor(t, kind, a, 1), tol, maxIter, ws)
+			if err != nil {
+				t.Fatalf("%s %s serial: %v", label, kind, err)
+			}
+			for _, workers := range []int{2, 8} {
+				name := fmt.Sprintf("%s %s workers=%d", label, kind, workers)
+				wsw := sparse.NewPCGWorkspace(n)
+				wsw.SetWorkers(workers)
+				x, res, err := sparse.PCGW(a, b, nil, precFor(t, kind, a, workers), tol, maxIter, wsw)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				mustBitEqual(t, name, ref, x)
+				if res.Iterations != refRes.Iterations ||
+					math.Float64bits(res.Residual) != math.Float64bits(refRes.Residual) {
+					t.Fatalf("%s: result %+v vs serial %+v", name, res, refRes)
+				}
+			}
+		}
+	}
+}
+
+// TestCircuitSolveWorkersBitEquality pins the circuit layer: the same
+// netlist solved with SolveOptions.Workers 0 (historical serial), 2, 8
+// and -1 (machine default) yields bitwise-identical voltages on both
+// the fresh and the prepared paths.
+func TestCircuitSolveWorkersBitEquality(t *testing.T) {
+	const nx, ny = 20, 18
+	build := func() *circuit.Netlist {
+		net := circuit.New()
+		nodes := net.Nodes(nx * ny)
+		idx := func(x, y int) int { return nodes[y*nx+x] }
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if x+1 < nx {
+					net.AddResistor(idx(x, y), idx(x+1, y), 0.4)
+				}
+				if y+1 < ny {
+					net.AddResistor(idx(x, y), idx(x, y+1), 0.4)
+				}
+			}
+		}
+		net.AddRailTie(idx(0, 0), 0.01, 1.0)
+		net.AddRailTie(idx(nx-1, ny-1), 0.01, 1.0)
+		for y := 3; y < ny; y += 4 {
+			for x := 3; x < nx; x += 4 {
+				net.AddLoad(idx(x, y), circuit.Ground, 0.002*float64(x+y))
+			}
+		}
+		return net
+	}
+	for _, kind := range []circuit.SolverKind{circuit.PCGIC0, circuit.PCGJacobi, circuit.PCGAMG} {
+		ref, err := build().Solve(circuit.SolveOptions{Solver: kind})
+		if err != nil {
+			t.Fatalf("kind %d serial: %v", kind, err)
+		}
+		for _, workers := range []int{2, 8, -1} {
+			name := fmt.Sprintf("kind %d workers=%d", kind, workers)
+			opts := circuit.SolveOptions{Solver: kind, Workers: workers}
+			fresh, err := build().Solve(opts)
+			if err != nil {
+				t.Fatalf("%s fresh: %v", name, err)
+			}
+			mustBitEqual(t, name+" fresh", ref.Voltages(), fresh.Voltages())
+
+			prep, err := build().Compile(opts)
+			if err != nil {
+				t.Fatalf("%s compile: %v", name, err)
+			}
+			psol, err := prep.Solve(nil)
+			if err != nil {
+				t.Fatalf("%s prepared: %v", name, err)
+			}
+			mustBitEqual(t, name+" prepared", ref.Voltages(), psol.Voltages())
+		}
+	}
+}
+
+// TestPDNSolveWorkersBitEquality is the system-level property: the full
+// voltage-stacked PDN solve is bit-identical at every kernel worker
+// count, for both the prepared engine and the fresh fallback.
+func TestPDNSolveWorkersBitEquality(t *testing.T) {
+	cores := power.Example16Core().NumCores()
+	acts := pdngrid.InterleavedActivities(3, cores, 0.65)
+	for _, kind := range []circuit.SolverKind{circuit.PCGIC0, circuit.PCGAMG} {
+		for _, fresh := range []bool{false, true} {
+			cfg := vsTestConfig(kind, nil)
+			cfg.ForceFreshSolve = fresh
+			serial, err := pdngrid.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := serial.Solve(acts)
+			if err != nil {
+				t.Fatalf("kind %d fresh=%v serial: %v", kind, fresh, err)
+			}
+			for _, workers := range []int{2, 8} {
+				wcfg := vsTestConfig(kind, nil)
+				wcfg.ForceFreshSolve = fresh
+				wcfg.Solve.Workers = workers
+				pdn, err := pdngrid.New(wcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := pdn.Solve(acts)
+				if err != nil {
+					t.Fatalf("kind %d fresh=%v workers=%d: %v", kind, fresh, workers, err)
+				}
+				pdnResultsBitEqual(t,
+					fmt.Sprintf("kind %d fresh=%v workers=%d", kind, fresh, workers),
+					ref, got)
+			}
+		}
+	}
+}
+
+// TestBatchLanesTimesKernelsBitEquality exercises the composed budget:
+// PCGBatch with budget 8 over 4 lanes runs 4 concurrent lanes × 2
+// kernel workers each, and every lane must still match the plain serial
+// solve bitwise. Runs under -race in CI, so it also proves the forked
+// preconditioners and spin barriers are data-race free when lane and
+// kernel parallelism are live at once.
+func TestBatchLanesTimesKernelsBitEquality(t *testing.T) {
+	const k = 4
+	for label, a := range matrices() {
+		n := a.N()
+		bs := RandomBatch(n, k, 2024)
+		tol, maxIter := 1e-10, 20*n
+		for _, kind := range []string{"ic0", "amg"} {
+			prec := precFor(t, kind, a, 1)
+			for _, budget := range []int{8, 6} {
+				name := fmt.Sprintf("%s %s budget=%d", label, kind, budget)
+				xs, results, err := sparse.PCGBatch(a, bs, nil, prec, tol, maxIter, nil, budget)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for i := range bs {
+					ref, refRes, err := sparse.PCG(a, bs[i], nil, precFor(t, kind, a, 1), tol, maxIter)
+					if err != nil {
+						t.Fatalf("%s serial lane %d: %v", name, i, err)
+					}
+					mustBitEqual(t, fmt.Sprintf("%s lane %d", name, i), ref, xs[i])
+					if results[i] != refRes {
+						t.Fatalf("%s lane %d: %+v vs serial %+v", name, i, results[i], refRes)
+					}
+				}
+			}
+		}
+	}
+}
