@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve bench-scaling bench-kernels bench-diff fuzz golden profile metrics-demo provenance-demo serve-demo trace-demo
+.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve bench-scaling bench-kernels bench-diff fuzz golden profile metrics-demo provenance-demo serve-demo trace-demo health-demo
 
 build:
 	$(GO) build ./...
@@ -128,6 +128,31 @@ trace-demo: build
 	./bin/vsctl top; \
 	kill -TERM $$pid; wait $$pid
 	@echo "trace: load /tmp/voltstack-trace-demo/trace.json in https://ui.perfetto.dev"
+
+# health-demo exercises the solver-health observability path end to end:
+# the daemon (convergence probes always on) journals per-job snapshots into
+# a persistent history store, vsctl renders a finished job's health report
+# (condition estimate, residual curve, detector verdicts), /statusz serves
+# the live convergence section, and after the drain vsreport trend analyzes
+# the accumulated history for iteration/conditioning regressions.
+health-demo: build
+	$(GO) build -o bin/vsserved ./cmd/vsserved
+	$(GO) build -o bin/vsctl ./cmd/vsctl
+	$(GO) build -o bin/vsreport ./cmd/vsreport
+	rm -rf /tmp/voltstack-health-demo && mkdir -p /tmp/voltstack-health-demo
+	./bin/vsserved -addr localhost:18326 \
+		-state-dir /tmp/voltstack-health-demo/state \
+		-history /tmp/voltstack-health-demo/history & pid=$$!; \
+	export VSSERVED_ADDR=http://localhost:18326; \
+	for i in $$(seq 1 100); do ./bin/vsctl list >/dev/null 2>&1 && break; sleep 0.1; done; \
+	./bin/vsctl run -sweep -layers 8 -grid 24 -pads 0.5 -converters 4 -tsvs dense > /dev/null; \
+	./bin/vsctl run -sweep -layers 8 -grid 24 -pads 0.25 -converters 4 -tsvs dense > /dev/null; \
+	id=$$(./bin/vsctl list | grep -o '"id": "[^"]*"' | head -1 | cut -d'"' -f4); \
+	./bin/vsctl health $$id; \
+	echo "statusz convergence:"; \
+	curl -s http://localhost:18326/statusz | sed -n '/"convergence"/,/}/p'; \
+	kill -TERM $$pid; wait $$pid
+	./bin/vsreport trend /tmp/voltstack-health-demo/history
 
 # serve-demo starts the evaluation daemon, runs the same job twice through
 # vsctl (the second is a content-addressed cache hit: identical bytes, zero

@@ -13,12 +13,16 @@
 //
 //	benchjson -diff old.json new.json -tolerance 0.30
 //
-// Every Fresh/Prepared, Serial/Batch and Workers1/Workers8 speedup present
-// in both reports is compared; the exit status is 1 when any speedup
-// regressed by more than
-// the tolerance fraction (default 0.30). Raw ns/op is machine- and
-// load-dependent, so only the speedup ratios — which divide that noise
-// out — gate.
+// Every Fresh/Prepared, Serial/Batch and Workers1/Workers8 speedup
+// present in both reports is compared; the exit status is 1 when any
+// speedup regressed by more than the tolerance fraction (default 0.30).
+// Raw ns/op is machine- and load-dependent, so only the speedup ratios —
+// which divide that noise out — gate. The ProbesOff/ProbesOn pairs gate
+// on the disabled variant's allocs/op, which is machine-independent: the
+// zero-alloc-when-disabled contract fails loudly if the disabled path
+// starts allocating. Their on/off time ratio hovers at ~1.0x and is
+// reported informationally only — single-iteration smokes are too noisy
+// to gate a ratio that close to unity.
 package main
 
 import (
@@ -79,6 +83,20 @@ type KernelPair struct {
 	Nodes      float64 `json:"nodes,omitempty"`
 }
 
+// ProbePair couples a ProbesOff benchmark with its ProbesOn twin (the
+// solver-health pairs): the same solve with the convergence probes
+// disabled and enabled. Overhead is on/off ns (>= 1 when the disabled
+// path is the cheap one); OffAllocs pins the zero-alloc-when-disabled
+// contract in a machine-independent number.
+type ProbePair struct {
+	Name      string  `json:"name"`
+	OffNs     float64 `json:"probes_off_ns_per_op"`
+	OnNs      float64 `json:"probes_on_ns_per_op"`
+	Overhead  float64 `json:"overhead"`
+	OffAllocs float64 `json:"probes_off_allocs_per_op,omitempty"`
+	OnAllocs  float64 `json:"probes_on_allocs_per_op,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	GoOS        string       `json:"goos,omitempty"`
@@ -88,6 +106,7 @@ type Report struct {
 	Pairs       []Pair       `json:"pairs"`
 	BatchPairs  []BatchPair  `json:"batch_pairs,omitempty"`
 	KernelPairs []KernelPair `json:"kernel_pairs,omitempty"`
+	ProbePairs  []ProbePair  `json:"probe_pairs,omitempty"`
 }
 
 func main() {
@@ -165,7 +184,8 @@ func main() {
 	fresh, prepared := map[string]*acc{}, map[string]*acc{}
 	serial, batch := map[string]*acc{}, map[string]*acc{}
 	workers1, workers8 := map[string]*acc{}, map[string]*acc{}
-	var order, batchOrder, kernelOrder []string
+	probesOff, probesOn := map[string]*acc{}, map[string]*acc{}
+	var order, batchOrder, kernelOrder, probeOrder []string
 	for _, e := range rep.Benchmarks {
 		switch {
 		case strings.HasSuffix(e.Name, "Fresh"):
@@ -180,6 +200,10 @@ func main() {
 			add(workers1, &kernelOrder, workers8, strings.TrimSuffix(e.Name, "Workers1"), e)
 		case strings.HasSuffix(e.Name, "Workers8"):
 			add(workers8, &kernelOrder, workers1, strings.TrimSuffix(e.Name, "Workers8"), e)
+		case strings.HasSuffix(e.Name, "ProbesOff"):
+			add(probesOff, &probeOrder, probesOn, strings.TrimSuffix(e.Name, "ProbesOff"), e)
+		case strings.HasSuffix(e.Name, "ProbesOn"):
+			add(probesOn, &probeOrder, probesOff, strings.TrimSuffix(e.Name, "ProbesOn"), e)
 		}
 	}
 	for _, stem := range order {
@@ -229,6 +253,26 @@ func main() {
 			kp.Nodes = w1.metrics["nodes"]
 		}
 		rep.KernelPairs = append(rep.KernelPairs, kp)
+	}
+	for _, stem := range probeOrder {
+		off, on := probesOff[stem], probesOn[stem]
+		if off == nil || on == nil || off.n == 0 || on.n == 0 {
+			continue
+		}
+		om, nm := off.sum/float64(off.n), on.sum/float64(on.n)
+		pp := ProbePair{
+			Name:     stem,
+			OffNs:    om,
+			OnNs:     nm,
+			Overhead: nm / om,
+		}
+		if off.metrics != nil {
+			pp.OffAllocs = off.metrics["allocs/op"]
+		}
+		if on.metrics != nil {
+			pp.OnAllocs = on.metrics["allocs/op"]
+		}
+		rep.ProbePairs = append(rep.ProbePairs, pp)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -295,6 +339,14 @@ func runDiff(args []string) int {
 	for _, p := range old.KernelPairs {
 		base["kernel/"+p.Name] = speedup{"workers1/workers8", p.Speedup}
 	}
+	// Probe pairs gate on the disabled variant's allocs/op (deterministic
+	// per toolchain); the on/off time ratio is expected to hover at ~1.0x
+	// and single-iteration CI smokes put tens of percent of noise on it,
+	// so it is reported informationally rather than gated.
+	baseProbeAllocs := map[string]float64{}
+	for _, p := range old.ProbePairs {
+		baseProbeAllocs["probes/"+p.Name] = p.OffAllocs
+	}
 	check := func(key, name string, now float64) bool {
 		b, ok := base[key]
 		if !ok || b.old <= 0 {
@@ -322,6 +374,24 @@ func runDiff(args []string) int {
 	for _, p := range cur.KernelPairs {
 		ok = check("kernel/"+p.Name, p.Name, p.Speedup) && ok
 		compared++
+	}
+	for _, p := range cur.ProbePairs {
+		fmt.Printf("INFO   %-40s probe overhead %.2fx (not gated)\n", p.Name, p.Overhead)
+		// Zero-alloc-when-disabled: allocs/op is deterministic per
+		// toolchain, so the disabled variant may not allocate beyond the
+		// baseline plus tolerance (which absorbs Go-version inlining
+		// shifts, not feature regressions).
+		if was, okb := baseProbeAllocs["probes/"+p.Name]; okb && was > 0 && p.OffAllocs > 0 {
+			ceil := was * (1 + tol)
+			if p.OffAllocs > ceil {
+				fmt.Printf("REGRESS %-40s probes-off allocs/op %.0f -> %.0f (ceiling %.0f)\n",
+					p.Name, was, p.OffAllocs, ceil)
+				ok = false
+			} else {
+				fmt.Printf("OK     %-40s probes-off allocs/op %.0f -> %.0f\n", p.Name, was, p.OffAllocs)
+			}
+			compared++
+		}
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no speedup pairs in the new report — nothing compared")

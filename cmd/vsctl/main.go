@@ -15,6 +15,7 @@
 //	run       submit + wait + result in one step
 //	evaluate  evaluate a single design synchronously
 //	stats     print a job's resource-attribution JSON (vsctl stats <id>)
+//	health    render a job's solver-health report     (vsctl health <id>)
 //	top       rank all jobs by attributed CPU time
 //
 // Every invocation mints a W3C trace context and sends it as a
@@ -41,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/url"
 	"os"
 	"sort"
@@ -112,6 +114,8 @@ func main() {
 			_, err = os.Stdout.Write(b)
 			return err
 		})
+	case "health":
+		err = withJobID(args, func(id string) error { return cmdHealth(ctx, c, id) })
 	case "top":
 		err = cmdTop(ctx, c)
 	default:
@@ -138,6 +142,8 @@ commands:
   list                  print every job's status JSON
   evaluate [flags]      evaluate one design synchronously
   stats  <id>           print a job's resource-attribution JSON
+  health <id>           render a job's solver-health report (condition
+                        estimate, residual curve, detector verdicts)
   top                   rank all jobs by attributed CPU time
 
 job flags (submit/run):
@@ -301,6 +307,128 @@ func cmdEvaluate(ctx context.Context, c *server.Client, args []string) error {
 	}
 	_, err = os.Stdout.Write(append(out, '\n'))
 	return err
+}
+
+// cmdHealth renders a job's solver-health report from its stats document:
+// the job-scoped convergence instruments (condition estimate, per-iteration
+// reduction factor, detector trip counts) and the residual curve of the
+// slowest probed solve, drawn on a log scale. It needs nothing beyond what
+// GET /v1/jobs/{id}/stats already serves, so it works on frozen terminal
+// documents across daemon restarts too.
+func cmdHealth(ctx context.Context, c *server.Client, id string) error {
+	b, err := c.Stats(ctx, id)
+	if err != nil {
+		return err
+	}
+	var st server.JobStats
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("stats %s: %v", id, err)
+	}
+	counter := func(name string) int64 { return st.Registry.Counters[name] }
+	gauge := func(name string) (float64, bool) {
+		v, ok := st.Registry.Gauges[name]
+		return v, ok
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "job\t%s (%s, %s)\n", st.ID, st.Kind, st.State)
+	fmt.Fprintf(w, "solves\t%d PDN solves, %d probed, %d total iterations\n",
+		counter("job_pdn_solves_total"), counter("job_health_reports_total"),
+		counter("job_solver_iterations_total"))
+	if probed := counter("job_health_reports_total"); probed == 0 {
+		fmt.Fprintf(w, "health\tno probed solves recorded (run vsserved with convergence probes; older jobs predate them)\n")
+		return w.Flush()
+	}
+	if cond, ok := gauge("job_health_cond_estimate"); ok && cond > 0 {
+		lmin, _ := gauge("job_health_lambda_min")
+		lmax, _ := gauge("job_health_lambda_max")
+		fmt.Fprintf(w, "conditioning\tcond(M^-1 A) ~ %.4g  (lambda in [%.4g, %.4g], last probed solve)\n", cond, lmin, lmax)
+	} else {
+		fmt.Fprintf(w, "conditioning\tno estimate (solves converged before the Lanczos window filled)\n")
+	}
+	if rf, ok := gauge("job_health_reduction_factor"); ok && rf > 0 {
+		fmt.Fprintf(w, "reduction\tresidual x%.4g per iteration (geometric mean, last probed solve)\n", rf)
+	}
+	verdict := func(name string) string {
+		if n := counter(name); n > 0 {
+			return fmt.Sprintf("TRIPPED x%d", n)
+		}
+		return "ok"
+	}
+	fmt.Fprintf(w, "detectors\tstagnation %s\tplateau %s\tprecond-degradation %s\n",
+		verdict("job_health_stagnation_total"), verdict("job_health_plateau_total"),
+		verdict("job_health_degradation_total"))
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	// Residual curve: the slowest solve's exemplar carries the probe's
+	// per-iteration residual timeline (head + tail; long solves elide the
+	// middle, which the iteration numbering makes visible).
+	for _, ex := range st.Exemplars {
+		if len(ex.Residuals) == 0 {
+			continue
+		}
+		fmt.Printf("\nresidual curve (slowest probed solve: %d iterations, %.3fs):\n",
+			ex.Iterations, ex.Value)
+		printResidualCurve(ex.Residuals, ex.Iterations)
+		break
+	}
+	return nil
+}
+
+// printResidualCurve draws residuals on a log10 scale, one bar per sampled
+// iteration, at most 24 rows. res[0] is the initial residual; when the
+// probe elided the middle of a long solve, the tail rows are numbered from
+// the end so the gap is explicit.
+func printResidualCurve(res []float64, iters int) {
+	const maxRows, width = 24, 40
+	idx := make([]int, len(res))
+	for i := range res {
+		idx[i] = i
+		if iters+1 > len(res) && i >= len(res)/2 {
+			// Head+tail window: the second half holds the final iterations.
+			idx[i] = iters + 1 - (len(res) - i)
+		}
+	}
+	step := 1
+	if len(res) > maxRows {
+		step = (len(res) + maxRows - 1) / maxRows
+	}
+	lo, hi := res[0], res[0]
+	for _, r := range res {
+		if r > 0 && (lo <= 0 || r < lo) {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if lo <= 0 || hi <= 0 || lo == hi {
+		lo, hi = hi/10+1e-300, hi+1e-300
+	}
+	llo, lhi := mathLog10(lo), mathLog10(hi)
+	for i := 0; i < len(res); i += step {
+		frac := (mathLog10(res[i]) - llo) / (lhi - llo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		n := int(frac*float64(width) + 0.5)
+		fmt.Printf("  iter %6d  %10.3e  |%s\n", idx[i], res[i], strings.Repeat("#", n))
+	}
+	if last := len(res) - 1; (len(res)-1)%step != 0 {
+		fmt.Printf("  iter %6d  %10.3e  |\n", idx[last], res[last])
+	}
+}
+
+func mathLog10(v float64) float64 {
+	if v <= 0 {
+		return -300
+	}
+	return math.Log10(v)
 }
 
 // cmdTop fetches every job's stats and prints a table ranked by

@@ -1,5 +1,6 @@
 // Command vsreport inspects and compares run provenance manifests written
-// by the other binaries' -manifest flag.
+// by the other binaries' -manifest flag, and analyzes persistent telemetry
+// history stores for solver-health trends.
 //
 // Usage:
 //
@@ -7,11 +8,15 @@
 //	vsreport A.json B.json       diff two manifests: config delta, metric
 //	                             delta, and per-output hash match/mismatch
 //	vsreport -json A.json B.json emit the structured diff as JSON
+//	vsreport trend DIR           analyze a history store (vsserved -history,
+//	                             CLI -history): per-group iteration and
+//	                             conditioning trends, regressions flagged
 //
 // The exit status of a two-manifest diff reflects reproducibility: 0 when
 // every output present in both runs hashed identically, 1 on any mismatch,
 // 2 on usage or read errors. Two identical-seed runs of a deterministic
-// binary must exit 0.
+// binary must exit 0. `trend` mirrors that contract: 0 when no tracked
+// metric regressed, 1 on any flagged regression, 2 on usage/read errors.
 package main
 
 import (
@@ -29,6 +34,10 @@ func main() {
 	flag.Parse()
 
 	args := flag.Args()
+	if len(args) > 0 && args[0] == "trend" {
+		cmdTrend(args[1:], *jsonOut)
+		return
+	}
 	switch len(args) {
 	case 1:
 		m, err := telemetry.LoadManifest(args[0])
@@ -59,7 +68,7 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: vsreport [-json] MANIFEST [MANIFEST]")
+		fmt.Fprintln(os.Stderr, "usage: vsreport [-json] MANIFEST [MANIFEST]\n       vsreport trend [-json] [flags] HISTORY-DIR")
 		os.Exit(2)
 	}
 }

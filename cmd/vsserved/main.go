@@ -35,6 +35,7 @@ import (
 	"voltstack/internal/rescache"
 	"voltstack/internal/server"
 	"voltstack/internal/telemetry"
+	"voltstack/internal/telemetry/history"
 )
 
 func main() {
@@ -47,12 +48,24 @@ func main() {
 	queueDepth := flag.Int("queue", 8, "queued-job bound; submissions beyond it get 429")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 rejections")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "graceful-shutdown budget before in-flight jobs are hard-cancelled")
+	historySegBytes := flag.Int64("history-segment-bytes", 0, "history segment rotation budget in bytes (0: 1 MiB)")
+	historySegments := flag.Int("history-segments", 0, "history segments retained (0: 8)")
 	tf := telemetry.RegisterFlags()
 	flag.Parse()
 
 	// A daemon always records metrics: the /metrics endpoint it exposes
-	// should never silently read zero.
+	// should never silently read zero. Convergence probes ride along: the
+	// daemon is exactly where "is the solver healthy?" must be answerable
+	// live, and the probes are guaranteed not to perturb results.
 	telemetry.Enable()
+	telemetry.EnableConvergenceProbes()
+	// The daemon shares the -history store of the common flag set: Init
+	// opens it, the job manager appends one record per finished job, and
+	// the telemetry flush appends the daemon's own run record on exit.
+	tf.HistoryOptions = history.Options{
+		SegmentBytes: *historySegBytes,
+		MaxSegments:  *historySegments,
+	}
 	flush, err := tf.Init()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vsserved:", err)
@@ -72,12 +85,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	hist := tf.HistoryStore()
+	if hist != nil {
+		fmt.Fprintf(os.Stderr, "vsserved: appending job history under %s\n", tf.History)
+	}
 	mgr, err := server.NewManager(server.Config{
 		MaxInFlight: *maxInflight,
 		QueueDepth:  *queueDepth,
 		Cache:       cache,
 		StateDir:    *stateDir,
 		RetryAfter:  *retryAfter,
+		History:     hist,
 	})
 	if err != nil {
 		fail(err)

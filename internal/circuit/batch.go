@@ -86,7 +86,14 @@ func (p *Prepared) SolveBatch(k int, setRHS func(i int), x0s [][]float64, worker
 			return nil, err
 		}
 		for i, x := range xs {
-			sols[i] = &Solution{net: n, v: x, Iterations: results[i].Iterations, Residual: results[i].Residual}
+			sols[i] = &Solution{
+				net:        n,
+				v:          x,
+				Iterations: results[i].Iterations,
+				Residual:   results[i].Residual,
+				ConvTrace:  results[i].Trace,
+				Health:     results[i].Health,
+			}
 		}
 	default:
 		return nil, fmt.Errorf("circuit: unknown solver kind %d", p.kind)

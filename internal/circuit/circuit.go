@@ -225,6 +225,10 @@ type Solution struct {
 	// ConvTrace is the solver's per-iteration convergence trajectory,
 	// populated only while the flight recorder is on; nil otherwise.
 	ConvTrace *sparse.SolveTrace
+	// Health is the solver-health report (condition estimate, detector
+	// verdicts), populated only while convergence probes are on; nil
+	// otherwise. Voltages are byte-identical either way.
+	Health *sparse.ConvergenceReport
 }
 
 // CheckConnectivity verifies that every node has a conductive path to
@@ -441,6 +445,7 @@ func (n *Netlist) Solve(opts SolveOptions) (*Solution, error) {
 		sol.Iterations = res.Iterations
 		sol.Residual = res.Residual
 		sol.ConvTrace = res.Trace
+		sol.Health = res.Health
 	default:
 		return nil, fmt.Errorf("circuit: unknown solver kind %d", kind)
 	}

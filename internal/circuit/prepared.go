@@ -295,6 +295,7 @@ func (p *Prepared) SolveSpan(sp *telemetry.Span, x0 []float64) (*Solution, error
 		sol.Iterations = res.Iterations
 		sol.Residual = res.Residual
 		sol.ConvTrace = res.Trace
+		sol.Health = res.Health
 	default:
 		return nil, fmt.Errorf("circuit: unknown solver kind %d", p.kind)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"voltstack/internal/circuit"
 	"voltstack/internal/sc"
+	"voltstack/internal/sparse"
 	"voltstack/internal/telemetry"
 )
 
@@ -189,7 +190,41 @@ func recordJobSolve(scope *telemetry.Scope, sp *telemetry.Span, secs float64, so
 	if sol.ConvTrace != nil {
 		ex.Residuals = sol.ConvTrace.Residuals
 	}
+	recordJobHealth(scope, &ex, sol.Health)
 	scope.RecordExemplar(ex)
+}
+
+// recordJobHealth attributes one probed solve's health report to the job
+// scope: the job's stats document (and through it `vsctl health`) carries
+// the last probed solve's condition estimate, reduction factor and detector
+// trips, and the exemplar picks up the residual timeline when the flight
+// recorder did not already supply one. Nil h (probes off, or a direct
+// solve) is a no-op.
+func recordJobHealth(scope *telemetry.Scope, ex *telemetry.Exemplar, h *sparse.ConvergenceReport) {
+	if h == nil {
+		return
+	}
+	scope.Counter("job_health_reports_total").Add(1)
+	if h.CondEstimate > 0 {
+		scope.Gauge("job_health_cond_estimate").Set(h.CondEstimate)
+		scope.Gauge("job_health_lambda_min").Set(h.LambdaMin)
+		scope.Gauge("job_health_lambda_max").Set(h.LambdaMax)
+	}
+	if h.ReductionFactor > 0 {
+		scope.Gauge("job_health_reduction_factor").Set(h.ReductionFactor)
+	}
+	if h.Stagnation {
+		scope.Counter("job_health_stagnation_total").Add(1)
+	}
+	if h.Plateau {
+		scope.Counter("job_health_plateau_total").Add(1)
+	}
+	if h.Degradation {
+		scope.Counter("job_health_degradation_total").Add(1)
+	}
+	if ex.Residuals == nil {
+		ex.Residuals = h.Residuals
+	}
 }
 
 // rasterizeLoads converts per-layer, per-core activity factors into

@@ -165,6 +165,12 @@ func (p *PDN) solveBatch(ctx context.Context, batch [][][]float64, workers int) 
 		if tc := spS.TraceContext(); tc.Valid() {
 			ex.TraceID, ex.SpanID = tc.TraceIDString(), tc.SpanIDString()
 		}
+		// Per-lane health attribution: every probed lane counts toward the
+		// job's report/detector totals, and the exemplar carries the first
+		// probed lane's residual timeline.
+		for _, sol := range sols {
+			recordJobHealth(scope, &ex, sol.Health)
+		}
 		scope.RecordExemplar(ex)
 	}
 	return out, nil

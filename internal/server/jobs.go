@@ -19,6 +19,7 @@ import (
 	"voltstack/internal/pdngrid"
 	"voltstack/internal/rescache"
 	"voltstack/internal/telemetry"
+	"voltstack/internal/telemetry/history"
 )
 
 // Service metrics. No-ops unless telemetry is enabled.
@@ -65,6 +66,10 @@ type Config struct {
 	StateDir string
 	// RetryAfter is the hint attached to overload rejections (default 1s).
 	RetryAfter time.Duration
+	// History, when set, receives one timestamped record per terminal job
+	// (wall/CPU attribution plus the job-scoped solver-health metrics), so
+	// solver behavior stays queryable across daemon lifetimes.
+	History *history.Store
 
 	// Test seams: invoked at job start (inside the runner, before any
 	// computation) and per completed sweep point. Both may be nil.
@@ -588,8 +593,11 @@ func (m *Manager) runJob(j *Job) {
 	jobCtx = telemetry.WithScope(jobCtx, scope)
 	sp := telemetry.StartSpanTrace("server.job."+j.req.Kind, tc)
 	m.saveMeta(j)
-	mRunning.Set(mRunning.Value() + 1)
-	defer func() { mRunning.Set(mRunning.Value() - 1) }()
+	// Atomic up/down: with MaxInFlight > 1 runners race here, and a
+	// Set(Value()+1) pair can lose an update and leave the gauge non-zero
+	// after the pool drains.
+	mRunning.Add(1)
+	defer mRunning.Add(-1)
 	if m.cfg.testJobStart != nil {
 		m.cfg.testJobStart(jobCtx, j)
 	}

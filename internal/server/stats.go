@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"voltstack/internal/telemetry"
+	"voltstack/internal/telemetry/history"
 )
 
 // JobStats is the per-job resource-attribution document served by
@@ -127,6 +128,38 @@ func (m *Manager) finalizeStats(j *Job) {
 			telemetry.Event(slog.LevelWarn, "server: stats write failed",
 				slog.String("job", j.id), slog.String("error", werr.Error()))
 		}
+	}
+	m.appendHistory(j, doc)
+}
+
+// appendHistory writes the terminal job's snapshot into the persistent
+// history store: run attribution plus the job-scoped solver-health and
+// solver-effort instruments, flattened to the store's numeric schema.
+func (m *Manager) appendHistory(j *Job, doc JobStats) {
+	if m.cfg.History == nil {
+		return
+	}
+	vals := map[string]float64{
+		"queue_wait_seconds": doc.QueueWaitSeconds,
+		"wall_seconds":       doc.WallSeconds,
+		"cpu_seconds":        doc.CPUSeconds,
+		"alloc_bytes":        float64(doc.AllocBytes),
+	}
+	for name, v := range doc.Registry.Counters {
+		vals[name] = float64(v)
+	}
+	for name, v := range doc.Registry.Gauges {
+		vals[name] = v
+	}
+	err := m.cfg.History.Append(history.Record{
+		T:      time.Now().UnixMilli(),
+		Kind:   "job",
+		ID:     j.id,
+		Values: vals,
+	})
+	if err != nil {
+		telemetry.Event(slog.LevelWarn, "server: history append failed",
+			slog.String("job", j.id), slog.String("error", err.Error()))
 	}
 }
 

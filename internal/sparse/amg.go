@@ -165,7 +165,10 @@ type AMGStats struct {
 	LevelUnknowns      []int   `json:"level_unknowns"`
 	LevelNNZ           []int   `json:"level_nnz"`
 	OperatorComplexity float64 `json:"operator_complexity"`
-	CoarseN            int     `json:"coarse_n"`
+	// GridComplexity is Σ level unknowns / finest unknowns — with
+	// OperatorComplexity, the standard pair of hierarchy-cost ratios.
+	GridComplexity float64 `json:"grid_complexity"`
+	CoarseN        int     `json:"coarse_n"`
 }
 
 // Stats returns the hierarchy shape of a built preconditioner.
@@ -182,6 +185,13 @@ func (p *AMGPrec) Stats() AMGStats {
 	}
 	if len(p.nnzs) > 0 && p.nnzs[0] > 0 {
 		st.OperatorComplexity = float64(total) / float64(p.nnzs[0])
+	}
+	unknowns := 0
+	for _, n := range p.ns {
+		unknowns += n
+	}
+	if len(p.ns) > 0 && p.ns[0] > 0 {
+		st.GridComplexity = float64(unknowns) / float64(p.ns[0])
 	}
 	return st
 }

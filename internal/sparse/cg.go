@@ -404,6 +404,10 @@ func (p *IC0Prec) applyScheduled(r, z []float64) {
 		}
 		mKernelParallel.Add(1)
 		mKernelWorkers.Set(float64(p.workers))
+		// The gauge reports workers *currently* inside a parallel kernel;
+		// it must drop back to zero when the dispatch drains rather than
+		// advertising the last dispatch forever.
+		defer mKernelWorkers.Set(0)
 	}
 	y := p.tmp
 	scale := p.scale
@@ -442,6 +446,12 @@ type CGResult struct {
 	// nil otherwise. Exposing it on success is what lets per-job exemplars
 	// attach a residual timeline to slow-but-converged solves.
 	Trace *SolveTrace
+
+	// Health is the solver-health report (bounded residual/α/β history,
+	// Lanczos condition estimate, detector verdicts), populated only while
+	// convergence probes are enabled; nil otherwise. Probes never perturb
+	// the solve: x, Iterations and Residual are byte-identical either way.
+	Health *ConvergenceReport
 }
 
 // PCGWorkspace holds the scratch vectors of a PCG solve so repeated solves
@@ -553,16 +563,28 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 	if flightRecorderOn() {
 		rec = newTraceRecorder("pcg", a, x0, prec, tol, maxIter)
 	}
+	// Convergence probe: same discipline (one gate check per solve, nil
+	// check per iteration, zero alloc when off). The probe only copies
+	// scalars the solve computed anyway, so results are bit-identical with
+	// the gate on or off.
+	var probe *convProbe
+	if probesOn() {
+		probe = newConvProbe(a, prec, tol, maxIter)
+	}
 	// x is allocated per solve: it is returned to (and kept by) the caller.
 	x := make([]float64, n)
 	if x0 != nil {
 		copy(x, x0)
 	}
-	// sealOK attaches the sealed convergence trace to a successful result
-	// when the recorder is on; a no-op (and no allocation) otherwise.
+	// sealOK attaches the sealed convergence trace and health report to a
+	// successful result when the recorder/probe are on; a no-op (and no
+	// allocation) otherwise.
 	sealOK := func(result CGResult) CGResult {
 		if rec != nil {
 			result.Trace = rec.seal(result)
+		}
+		if probe != nil {
+			result.Health = probe.seal(result, true)
 		}
 		return result
 	}
@@ -588,6 +610,9 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 	if rec != nil {
 		rec.record(res)
 	}
+	if probe != nil {
+		probe.record(res)
+	}
 	if res <= tol {
 		return x, sealOK(CGResult{Iterations: 0, Residual: res}), nil
 	}
@@ -606,6 +631,11 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 			res = Norm2(ap) / normB
 			err := fmt.Errorf("sparse: PCG: matrix not SPD (pᵀAp=%g at iter %d)", pap, it)
 			result := CGResult{Iterations: it - 1, Residual: res}
+			if probe != nil {
+				probe.record(res)
+				result.Health = probe.seal(result, false)
+				err = probe.enrich(err)
+			}
 			if rec != nil {
 				rec.record(res)
 				rec.trace.BreakdownIter = it
@@ -623,6 +653,9 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 		if rec != nil {
 			rec.record(res)
 		}
+		if probe != nil {
+			probe.iter(alpha, res)
+		}
 		if res <= tol {
 			return x, sealOK(CGResult{Iterations: it, Residual: res}), nil
 		}
@@ -630,10 +663,17 @@ func pcg(a *CSR, b, x0 []float64, prec Preconditioner, tol float64, maxIter int,
 		rzNew := blockedDot(r, z, wk, ws.partials)
 		beta := rzNew / rz
 		rz = rzNew
+		if probe != nil {
+			probe.betaCoeff(beta)
+		}
 		parXpby(z, beta, p, wk)
 	}
 	err := fmt.Errorf("%w: residual %.3e after %d iterations", ErrNoConvergence, res, maxIter)
 	result := CGResult{Iterations: maxIter, Residual: res}
+	if probe != nil {
+		result.Health = probe.seal(result, false)
+		err = probe.enrich(err)
+	}
 	if rec != nil {
 		err = rec.finish(result, err)
 		result.Trace = &rec.trace

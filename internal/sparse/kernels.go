@@ -140,6 +140,9 @@ func parRunInstrumented(name kernelSpan, workers int, fn func(w int)) {
 		busyMu.Unlock()
 	})
 	wall := time.Since(t0)
+	// Dispatch drained: the live-workers gauge returns to zero (the shape
+	// of the last dispatch stays visible via RecordKernelOccupancy below).
+	mKernelWorkers.Set(0)
 	sp.End()
 	if wall > 0 {
 		telemetry.RecordKernelOccupancy(workers,

@@ -8,6 +8,7 @@
 package sparsetest
 
 import (
+	"math"
 	"math/rand"
 
 	"voltstack/internal/sparse"
@@ -95,6 +96,23 @@ func stampUnit(b *sparse.Builder, i, j int) {
 	b.Add(i, i, 1)
 	b.Add(j, j, 1)
 	b.AddSym(i, j, -1)
+}
+
+// DiagSPD builds an n-node diagonal SPD matrix whose eigenvalues are
+// log-spaced in [lo, hi]. The spectrum is known in closed form —
+// cond(A) = hi/lo exactly, extreme eigenvalues are lo and hi — so the
+// solver-health condition estimates can be tested against ground truth
+// rather than against another estimate.
+func DiagSPD(n int, lo, hi float64) *sparse.CSR {
+	b := sparse.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		f := 0.0
+		if n > 1 {
+			f = float64(i) / float64(n-1)
+		}
+		b.Add(i, i, lo*math.Pow(hi/lo, f))
+	}
+	return b.ToCSR()
 }
 
 // RandomRHS returns a deterministic standard-normal right-hand side.

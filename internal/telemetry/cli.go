@@ -11,6 +11,9 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 	"sync"
+	"time"
+
+	"voltstack/internal/telemetry/history"
 )
 
 // Flags is the shared observability flag set of the cmd/ binaries. Every
@@ -26,11 +29,24 @@ type Flags struct {
 	CPUProfile string // -cpuprofile: pprof CPU profile path, captured for the whole run
 	Manifest   string // -manifest:   run provenance manifest JSON path on exit
 	Postmortem string // -postmortem: directory for solver post-mortem artifacts (enables the flight recorder)
+	Probes     bool   // -probes:     per-solve convergence analytics (condition estimates, detectors)
+	History    string // -history:    append a per-run telemetry/convergence snapshot to the history store in this directory
 	Progress   bool   // -progress:   periodic stderr progress lines for long runs
+
+	// HistoryOptions bounds the -history store (segment rotation size,
+	// retention count). Set before Init; the zero value means defaults.
+	HistoryOptions history.Options
 
 	manifest *Manifest
 	servers  []*Server
+	history  *history.Store
 }
+
+// HistoryStore returns the open history store when -history was given, or
+// nil. Long-running binaries (vsserved) use it to append their own records
+// — per-job snapshots — alongside the per-run record flush writes; the
+// store stays open until the flush returned by Init runs.
+func (f *Flags) HistoryStore() *history.Store { return f.history }
 
 // RegisterFlags registers the observability flags on the default flag set.
 // Call before flag.Parse.
@@ -44,6 +60,8 @@ func RegisterFlags() *Flags {
 	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.StringVar(&f.Manifest, "manifest", "", "write a run provenance manifest (flags, seeds, VCS stamp, output hashes) to this path on exit")
 	flag.StringVar(&f.Postmortem, "postmortem", "", "write solver post-mortem JSON artifacts into this directory on failures (enables the numerical flight recorder)")
+	flag.BoolVar(&f.Probes, "probes", false, "enable per-solve convergence probes (condition estimates, stagnation/plateau detectors); results are byte-identical either way")
+	flag.StringVar(&f.History, "history", "", "append a per-run telemetry/convergence snapshot to the history store in this directory (enables metrics and probes)")
 	flag.BoolVar(&f.Progress, "progress", true, "print periodic stderr progress lines for long sweeps and Monte Carlo runs")
 	return f
 }
@@ -73,9 +91,9 @@ func (f *Flags) ServeAddr() string {
 // On error, everything partially started is torn down before returning,
 // so a failed Init leaks no listener, goroutine or profile.
 func (f *Flags) Init() (flush func() error, err error) {
-	if f.Metrics != "" || f.Serve != "" || f.Manifest != "" {
+	if f.Metrics != "" || f.Serve != "" || f.Manifest != "" || f.History != "" {
 		// -serve needs live counters to scrape; a manifest embeds the final
-		// snapshot.
+		// snapshot; a history record flattens the final counters.
 		Enable()
 	}
 	if f.Trace != "" {
@@ -86,6 +104,11 @@ func (f *Flags) Init() (flush func() error, err error) {
 	}
 	if f.Postmortem != "" {
 		SetPostmortemDir(f.Postmortem)
+	}
+	if f.Probes || f.History != "" {
+		// A history snapshot without convergence analytics would miss the
+		// fields the trend report exists to track.
+		EnableConvergenceProbes()
 	}
 
 	var eventFile *os.File
@@ -112,6 +135,14 @@ func (f *Flags) Init() (flush func() error, err error) {
 			eventFile.Close()
 		}
 		return noopFlush, err
+	}
+
+	if f.History != "" {
+		f.history, err = history.Open(f.History, f.HistoryOptions)
+		if err != nil {
+			return fail(fmt.Errorf("telemetry: history: %w", err))
+		}
+		undo = append(undo, func() { f.history.Close(); f.history = nil })
 	}
 
 	var cpuFile *os.File
@@ -194,6 +225,15 @@ func (f *Flags) Init() (flush func() error, err error) {
 					errs = append(errs, err)
 				}
 			}
+			if f.history != nil {
+				if err := f.history.Append(runHistoryRecord()); err != nil {
+					errs = append(errs, err)
+				}
+				if err := f.history.Close(); err != nil {
+					errs = append(errs, err)
+				}
+				f.history = nil
+			}
 			for _, srv := range f.servers {
 				if err := srv.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 					errs = append(errs, err)
@@ -209,6 +249,38 @@ func (f *Flags) Init() (flush func() error, err error) {
 		return errors.Join(errs...)
 	}
 	return flush, nil
+}
+
+// runHistoryRecord flattens the run's final process registry — counters,
+// gauges, and the last solver-health report — into one history record, the
+// CLI-side counterpart of vsserved's per-job snapshots.
+func runHistoryRecord() history.Record {
+	snap := std.Snapshot()
+	vals := make(map[string]float64, len(snap.Counters)+len(snap.Gauges)+8)
+	for name, v := range snap.Counters {
+		vals[name] = float64(v)
+	}
+	for name, v := range snap.Gauges {
+		vals[name] = v
+	}
+	if h, ok := LastSolverHealth(); ok {
+		vals["health_iterations"] = float64(h.Iterations)
+		vals["health_final_residual"] = h.FinalResidual
+		if h.CondEstimate > 0 {
+			vals["health_cond_estimate"] = h.CondEstimate
+			vals["health_lambda_min"] = h.LambdaMin
+			vals["health_lambda_max"] = h.LambdaMax
+		}
+		if h.ReductionFactor > 0 {
+			vals["health_reduction_factor"] = h.ReductionFactor
+		}
+	}
+	return history.Record{
+		T:      time.Now().UnixMilli(),
+		Kind:   "run",
+		ID:     binaryName(),
+		Values: vals,
+	}
 }
 
 // binaryName returns the invoking binary's base name for the manifest.

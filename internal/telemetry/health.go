@@ -1,0 +1,104 @@
+// Solver-health plumbing: the process-wide gate for the convergence
+// probes that live next to the numerics in internal/sparse, and the
+// most-recent-health snapshot behind /statusz's convergence section and
+// the per-run history record.
+//
+// The probes follow the flight-recorder discipline exactly: off by
+// default, one atomic load per solve when disabled, and — because they
+// only *read* values the solver already computed — guaranteed not to
+// perturb solver arithmetic. Results are byte-identical with the gate on
+// or off; sparsetest pins that contract at the sparse, circuit and
+// pdngrid levels.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var probesOn atomic.Bool
+
+// EnableConvergenceProbes turns on per-solve convergence analytics in the
+// numerical core: residual/α/β history rings, Lanczos-based condition
+// estimates, and the stagnation/plateau/degradation detectors. Purely
+// additive — solver results are byte-identical either way.
+func EnableConvergenceProbes() { probesOn.Store(true) }
+
+// DisableConvergenceProbes turns convergence analytics back off. Solves
+// already in flight keep recording into their own probes.
+func DisableConvergenceProbes() { probesOn.Store(false) }
+
+// ProbesEnabled reports whether convergence probes are on. Solver entry
+// points check this once per solve; when false the per-iteration cost is
+// a nil check and no allocation happens.
+func ProbesEnabled() bool { return probesOn.Load() }
+
+// SolverHealth is the cross-package health summary of one iterative
+// solve, produced by the sparse convergence probe and consumed by
+// /statusz, the per-job stats document and the history store. Plain data
+// so telemetry need not import sparse (which imports telemetry).
+type SolverHealth struct {
+	Kind           string  `json:"kind"` // "pcg"
+	N              int     `json:"n"`
+	Preconditioner string  `json:"preconditioner"`
+	Iterations     int     `json:"iterations"`
+	FinalResidual  float64 `json:"final_residual"`
+	Converged      bool    `json:"converged"`
+
+	// Spectral estimates from the CG Lanczos tridiagonal (zero extra
+	// matvecs): extreme Ritz values of M⁻¹A and their ratio κ. Zero when
+	// the solve was too short to estimate.
+	LambdaMin    float64 `json:"lambda_min,omitempty"`
+	LambdaMax    float64 `json:"lambda_max,omitempty"`
+	CondEstimate float64 `json:"cond_estimate,omitempty"`
+
+	// ReductionFactor is the geometric-mean per-iteration residual
+	// reduction ‖r_k‖/‖r_{k-1}‖ over the recorded trajectory (1 = no
+	// progress, smaller is faster).
+	ReductionFactor float64 `json:"reduction_factor,omitempty"`
+
+	// Detector verdicts (see sparse: stagnation = no net progress over
+	// the trailing window, plateau = reduction factor near 1 while above
+	// tolerance, degradation = the trailing window converges much slower
+	// than the leading one).
+	Stagnation  bool `json:"stagnation,omitempty"`
+	Plateau     bool `json:"plateau,omitempty"`
+	Degradation bool `json:"precond_degradation,omitempty"`
+}
+
+// Most-recent solver health behind /statusz. Written by the sparse probe
+// at solve end (so only while probes are on), read by Status() and the
+// CLI history writer.
+var (
+	healthMu    sync.Mutex
+	lastHealth  SolverHealth
+	healthSeen  bool
+	healthCount int64
+)
+
+// RecordSolverHealth stores the health summary of the most recently
+// probed solve. Called by the sparse convergence probe; cheap enough to
+// take unconditionally there (one mutex per solve, never per iteration).
+func RecordSolverHealth(h SolverHealth) {
+	healthMu.Lock()
+	lastHealth = h
+	healthSeen = true
+	healthCount++
+	healthMu.Unlock()
+}
+
+// LastSolverHealth returns the most recently recorded solve health and
+// whether any solve has been probed in this process.
+func LastSolverHealth() (SolverHealth, bool) {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	return lastHealth, healthSeen
+}
+
+// SolverHealthCount returns how many probed solves have reported health
+// so far in this process.
+func SolverHealthCount() int64 {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	return healthCount
+}

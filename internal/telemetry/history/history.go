@@ -1,0 +1,370 @@
+// Package history is the persistent telemetry history store: append-only
+// on-disk segments of timestamped metric/convergence snapshots, written
+// by vsserved per job and by the CLI drivers per run, so solver behavior
+// is queryable across process lifetimes ("is this grid converging slower
+// than it did last week?").
+//
+// Layout and durability model:
+//
+//   - A store is a directory of JSON-lines segments seg-<seq>.jsonl. Every
+//     Append writes one complete line to the active (highest-sequence)
+//     segment; the segment rotates once it exceeds the byte budget and the
+//     oldest segments beyond the retention count are pruned.
+//
+//   - Crash safety is by construction, not by locking: a record is one
+//     buffered line write, so a crash can only lose or truncate the final
+//     line. Open tolerates a truncated tail (it truncates the segment back
+//     to its last complete line) and a crash between "create next segment"
+//     and "prune oldest" merely leaves one extra segment for the next
+//     rotation to prune. No step can corrupt previously written records.
+//
+//   - The package is stdlib-only (no telemetry import), so both the
+//     telemetry CLI layer and the cmd/ binaries can use it freely.
+package history
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record is one timestamped snapshot in the store. Values carries flat
+// numeric metrics (counter values, iteration counts, condition estimates);
+// the key set is producer-defined and records with disjoint keys coexist.
+type Record struct {
+	// T is the snapshot time in Unix milliseconds.
+	T int64 `json:"t"`
+	// Kind groups records by producer: "job" (one vsserved job), "run"
+	// (one CLI invocation), or any future producer.
+	Kind string `json:"kind"`
+	// ID names the producing unit (job ID, binary name).
+	ID string `json:"id"`
+	// Values holds the numeric snapshot.
+	Values map[string]float64 `json:"values,omitempty"`
+	// Count is the number of raw records aggregated into this one; zero
+	// on raw (non-downsampled) records.
+	Count int `json:"count,omitempty"`
+}
+
+// Options bounds a store.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 1 MiB).
+	SegmentBytes int64
+	// MaxSegments is the retention bound: after rotation, only the newest
+	// MaxSegments segments are kept (default 8).
+	MaxSegments int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.SegmentBytes <= 0 {
+		out.SegmentBytes = 1 << 20
+	}
+	if out.MaxSegments <= 0 {
+		out.MaxSegments = 8
+	}
+	return out
+}
+
+// Store is an open history directory. Append is safe for concurrent use;
+// one Store instance should own a directory at a time.
+type Store struct {
+	dir string
+	opt Options
+
+	mu   sync.Mutex
+	f    *os.File
+	seq  int64
+	size int64
+}
+
+const segPrefix = "seg-"
+
+func segName(seq int64) string { return fmt.Sprintf("%s%08d.jsonl", segPrefix, seq) }
+
+// segSeq parses a segment filename, returning -1 for foreign files.
+func segSeq(name string) int64 {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, ".jsonl") {
+		return -1
+	}
+	n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), ".jsonl"), 10, 64)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}
+
+// segments lists the store's segment sequence numbers, ascending.
+func segments(dir string) ([]int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if n := segSeq(e.Name()); n >= 0 {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+	return seqs, nil
+}
+
+// Open opens (creating if needed) the history store in dir and recovers
+// the active segment: a trailing partial line — the signature of a crash
+// mid-append — is truncated away so the next Append lands on a clean
+// line boundary.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("history: open: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt.withDefaults()}
+	seqs, err := segments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("history: open: %w", err)
+	}
+	s.seq = 1
+	if len(seqs) > 0 {
+		s.seq = seqs[len(seqs)-1]
+	}
+	path := filepath.Join(dir, segName(s.seq))
+	if err := recoverSegment(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("history: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("history: open: %w", err)
+	}
+	s.f, s.size = f, st.Size()
+	return s, nil
+}
+
+// recoverSegment truncates path back to its last complete line. A missing
+// file is fine (fresh store); an unreadable one is an error.
+func recoverSegment(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("history: recover: %w", err)
+	}
+	if len(b) == 0 || b[len(b)-1] == '\n' {
+		return nil
+	}
+	cut := strings.LastIndexByte(string(b), '\n') + 1
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		return fmt.Errorf("history: recover: %w", err)
+	}
+	return nil
+}
+
+// Append writes one record to the active segment, rotating first when the
+// segment is full. Safe for concurrent use.
+func (s *Store) Append(r Record) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("history: append: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("history: append on closed store")
+	}
+	if s.size > 0 && s.size+int64(len(line)) > s.opt.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := s.f.Write(line)
+	s.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("history: append: %w", err)
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment, opens the next one, and prunes
+// segments beyond the retention bound. Ordered so that a crash at any
+// point loses no committed record: sync+close old, create new, prune.
+func (s *Store) rotateLocked() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("history: rotate: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("history: rotate: %w", err)
+	}
+	s.f = nil
+	s.seq++
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(s.seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("history: rotate: %w", err)
+	}
+	s.f, s.size = f, 0
+	// Prune best-effort: a leftover segment (crash between create and
+	// prune) is re-pruned on the next rotation.
+	if seqs, err := segments(s.dir); err == nil {
+		for _, q := range seqs {
+			if q <= s.seq-int64(s.opt.MaxSegments) {
+				os.Remove(filepath.Join(s.dir, segName(q)))
+			}
+		}
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage. Nil-safe.
+func (s *Store) Sync() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Close syncs and closes the store. Idempotent and nil-safe.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// Query returns the records with from ≤ T ≤ to (use from=0, to=MaxInt64
+// for everything), in segment-then-append order. Malformed lines (a
+// torn write from a crashed process) are skipped, never fatal.
+func (s *Store) Query(from, to int64) ([]Record, error) {
+	s.mu.Lock()
+	if s.f != nil {
+		// Make everything appended so far visible to the scan below.
+		if err := s.f.Sync(); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("history: query: %w", err)
+		}
+	}
+	s.mu.Unlock()
+	return readDir(s.dir, from, to)
+}
+
+// Read scans a history directory without opening it for writing — the
+// reporting path (vsreport trend) over a store another process owns.
+func Read(dir string) ([]Record, error) {
+	return readDir(dir, 0, int64(^uint64(0)>>1))
+}
+
+func readDir(dir string, from, to int64) ([]Record, error) {
+	seqs, err := segments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("history: read: %w", err)
+	}
+	var out []Record
+	for _, q := range seqs {
+		f, err := os.Open(filepath.Join(dir, segName(q)))
+		if err != nil {
+			continue // pruned between listing and open
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var r Record
+			if json.Unmarshal(sc.Bytes(), &r) != nil {
+				continue
+			}
+			if r.T >= from && r.T <= to {
+				out = append(out, r)
+			}
+		}
+		f.Close()
+	}
+	return out, nil
+}
+
+// Downsample reduces recs to at most buckets records by windowing the
+// time axis into equal spans and aggregating each window: per-key mean
+// of Values, T at the window's first record, Count = records merged.
+// Kind/ID are kept when uniform within the window and cleared otherwise.
+// Records must be non-empty for a non-nil result; buckets < 1 returns
+// recs unchanged, as does a set already within the budget.
+func Downsample(recs []Record, buckets int) []Record {
+	if buckets < 1 || len(recs) <= buckets {
+		return recs
+	}
+	sorted := append([]Record(nil), recs...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].T < sorted[b].T })
+	lo, hi := sorted[0].T, sorted[len(sorted)-1].T
+	span := hi - lo + 1
+	out := make([]Record, 0, buckets)
+	var cur *Record
+	var curBucket int64 = -1
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		cur.Values = make(map[string]float64, len(sums))
+		for k, v := range sums {
+			cur.Values[k] = v / float64(counts[k])
+		}
+		out = append(out, *cur)
+		cur = nil
+		sums = map[string]float64{}
+		counts = map[string]int{}
+	}
+	for i := range sorted {
+		r := &sorted[i]
+		b := int64(buckets) * (r.T - lo) / span
+		if cur == nil || b != curBucket {
+			flush()
+			curBucket = b
+			cur = &Record{T: r.T, Kind: r.Kind, ID: r.ID, Count: 0}
+		}
+		if cur.Kind != r.Kind {
+			cur.Kind = ""
+		}
+		if cur.ID != r.ID {
+			cur.ID = ""
+		}
+		n := r.Count
+		if n == 0 {
+			n = 1
+		}
+		cur.Count += n
+		for k, v := range r.Values {
+			sums[k] += v
+			counts[k]++
+		}
+	}
+	flush()
+	return out
+}

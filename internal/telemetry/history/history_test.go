@@ -1,0 +1,240 @@
+package history
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func rec(t int64, kind, id string, vals map[string]float64) Record {
+	return Record{T: t, Kind: kind, ID: id, Values: vals}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		rec(100, "job", "j1", map[string]float64{"iterations": 42, "cond_estimate": 18.5}),
+		rec(200, "run", "vsim", map[string]float64{"pcg_iterations": 1234}),
+		rec(300, "job", "j2", map[string]float64{"iterations": 40}),
+	}
+	for _, r := range want {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Query(0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Time-window filtering is inclusive on both ends.
+	got, err = s.Query(150, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want[1:]) {
+		t.Fatalf("windowed query mismatch: got %+v", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything persists, and the store keeps appending to the
+	// same segment.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err = s2.Query(0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopen mismatch: got %+v", got)
+	}
+}
+
+// TestDownsampleGolden pins the windowed-downsampling semantics: per-key
+// mean within a window, T at the window's first record, Count = merged
+// records, Kind/ID cleared when mixed.
+func TestDownsampleGolden(t *testing.T) {
+	var recs []Record
+	for i := int64(0); i < 8; i++ {
+		recs = append(recs, rec(i*10, "job", fmt.Sprintf("j%d", i/4),
+			map[string]float64{"iters": float64(10 + i)}))
+	}
+	got := Downsample(recs, 2)
+	want := []Record{
+		{T: 0, Kind: "job", ID: "j0", Count: 4, Values: map[string]float64{"iters": 11.5}},
+		{T: 40, Kind: "job", ID: "j1", Count: 4, Values: map[string]float64{"iters": 15.5}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("downsample mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Within-budget and degenerate inputs pass through untouched.
+	if out := Downsample(recs, len(recs)); !reflect.DeepEqual(out, recs) {
+		t.Fatal("within-budget downsample must be identity")
+	}
+	if out := Downsample(recs, 0); !reflect.DeepEqual(out, recs) {
+		t.Fatal("buckets<1 must be identity")
+	}
+}
+
+func TestRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 256, MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 200
+	for i := int64(0); i < total; i++ {
+		if err := s.Append(rec(i, "job", "j", map[string]float64{"i": float64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seqs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) == 0 || len(seqs) > 3 {
+		t.Fatalf("retention violated: %d segments", len(seqs))
+	}
+	recs, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records survived rotation")
+	}
+	// The newest record always survives; retained records are a suffix of
+	// the append order.
+	if last := recs[len(recs)-1]; last.T != total-1 {
+		t.Fatalf("newest record lost: last T=%d", last.T)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].T != recs[i-1].T+1 {
+			t.Fatalf("retained records not a contiguous suffix at %d", i)
+		}
+	}
+}
+
+// TestCrashRecovery simulates the two crash windows: a torn final append
+// (partial trailing line) and a crash between segment creation and
+// pruning (an over-retained segment).
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 1 << 20, MaxSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if err := s.Append(rec(i, "job", "j", nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Torn write: a crash mid-append leaves a partial line at the tail.
+	active := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":99,"kind":"job","i`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, Options{SegmentBytes: 1 << 20, MaxSegments: 2})
+	if err != nil {
+		t.Fatalf("open after torn write: %v", err)
+	}
+	if err := s2.Append(rec(5, "job", "j", nil)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s2.Query(0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("after recovery want 6 records, got %d: %+v", len(recs), recs)
+	}
+	for i, r := range recs {
+		if r.T != int64(i) {
+			t.Fatalf("recovered stream corrupted at %d: %+v", i, r)
+		}
+	}
+	s2.Close()
+
+	// Crash between create and prune: fabricate a stale segment beyond
+	// retention; the next rotation prunes it.
+	stale := filepath.Join(dir, segName(0))
+	if err := os.WriteFile(stale, []byte(`{"t":1,"kind":"job","id":"old"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{SegmentBytes: 64, MaxSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(6); i < 30; i++ {
+		if err := s3.Append(rec(i, "job", "j", map[string]float64{"x": 1})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s3.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale pre-crash segment not pruned by rotation")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 512, MaxSegments: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r := rec(int64(w*per+i), "job", fmt.Sprintf("w%d", w),
+					map[string]float64{"i": float64(i)})
+				if err := s.Append(r); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	recs, err := s.Query(0, 1<<62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers*per {
+		t.Fatalf("want %d records, got %d", writers*per, len(recs))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(0, "job", "j", nil)); err == nil {
+		t.Fatal("append after close must fail")
+	}
+}

@@ -154,6 +154,15 @@ type StatusSnapshot struct {
 	KernelWorkers          int     `json:"kernel_workers,omitempty"`
 	KernelWorkerOccupancy  float64 `json:"kernel_worker_occupancy,omitempty"`
 
+	// Solver health: cumulative probe reports and detector trips from the
+	// solver_health_* instruments, plus the most recently probed solve's
+	// convergence summary. Populated only while convergence probes are on.
+	HealthReports      int64         `json:"solver_health_reports,omitempty"`
+	HealthStagnations  int64         `json:"solver_health_stagnations,omitempty"`
+	HealthPlateaus     int64         `json:"solver_health_plateaus,omitempty"`
+	HealthDegradations int64         `json:"solver_health_degradations,omitempty"`
+	Convergence        *SolverHealth `json:"convergence,omitempty"`
+
 	// Exemplars link the slowest observed solves back to their (trace ID,
 	// span ID) with convergence evidence attached.
 	Exemplars []Exemplar `json:"exemplars,omitempty"`
@@ -188,6 +197,13 @@ func Status() StatusSnapshot {
 	s.KernelWorkers = kernelWorkers
 	s.KernelWorkerOccupancy = kernelOccupancy
 	kernelMu.Unlock()
+	s.HealthReports = std.Counter("solver_health_reports_total").Value()
+	s.HealthStagnations = std.Counter("solver_health_stagnation_total").Value()
+	s.HealthPlateaus = std.Counter("solver_health_plateau_total").Value()
+	s.HealthDegradations = std.Counter("solver_health_precond_degradation_total").Value()
+	if h, ok := LastSolverHealth(); ok {
+		s.Convergence = &h
+	}
 	s.Exemplars = stdExemplars.Snapshot()
 	if s.Active == nil {
 		s.Active = []string{}

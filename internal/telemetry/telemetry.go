@@ -239,6 +239,24 @@ func (g *Gauge) Set(v float64) {
 	g.parent.Set(v)
 }
 
+// Add atomically adds delta to the gauge (CAS loop, safe for concurrent
+// up/down counting — a Set(Value()+1) from two goroutines can lose an
+// update and leave the gauge stale forever). No-op on a nil gauge or a
+// disabled registry; forwards to the layered parent's same-named gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	g.parent.Add(delta)
+}
+
 // Value returns the last set value (0 for a nil gauge).
 func (g *Gauge) Value() float64 {
 	if g == nil {
