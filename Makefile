@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve bench-scaling bench-kernels bench-diff fuzz golden profile metrics-demo provenance-demo serve-demo trace-demo health-demo
+.PHONY: build vet test test-short test-race bench bench-parallel bench-telemetry bench-solve bench-scaling bench-kernels bench-diff fuzz golden profile metrics-demo provenance-demo serve-demo trace-demo health-demo fleet-demo
 
 build:
 	$(GO) build ./...
@@ -153,6 +153,39 @@ health-demo: build
 	curl -s http://localhost:18326/statusz | sed -n '/"convergence"/,/}/p'; \
 	kill -TERM $$pid; wait $$pid
 	./bin/vsreport trend /tmp/voltstack-health-demo/history
+
+# fleet-demo stands up a three-daemon fleet on loopback — one coordinator,
+# two workers that join it — plus a standalone daemon as the oracle, runs
+# the same sweep through both paths and byte-compares the results (the
+# fleet's core contract: sharding must be invisible in the output), then
+# prints the `vsctl fleet` status table and drains everything.
+fleet-demo: build
+	$(GO) build -o bin/vsserved ./cmd/vsserved
+	$(GO) build -o bin/vsctl ./cmd/vsctl
+	rm -rf /tmp/voltstack-fleet-demo && mkdir -p /tmp/voltstack-fleet-demo
+	./bin/vsserved -addr localhost:18327 -role coordinator \
+		-state-dir /tmp/voltstack-fleet-demo/coord-state \
+		-cache-dir /tmp/voltstack-fleet-demo/cache & cpid=$$!; \
+	./bin/vsserved -addr localhost:18328 -role worker -name w1 \
+		-join http://localhost:18327 & w1pid=$$!; \
+	./bin/vsserved -addr localhost:18329 -role worker -name w2 \
+		-join http://localhost:18327 & w2pid=$$!; \
+	./bin/vsserved -addr localhost:18330 & spid=$$!; \
+	export VSSERVED_ADDR=http://localhost:18327; \
+	for i in $$(seq 1 100); do \
+		./bin/vsctl fleet 2>/dev/null | grep -q w2 && break; sleep 0.1; \
+	done; \
+	./bin/vsctl run -sweep -layers 4 -grid 16 -pads 0.25,0.5 \
+		-converters 2,4 -tsvs dense > /tmp/voltstack-fleet-demo/sharded.json; \
+	VSSERVED_ADDR=http://localhost:18330 ./bin/vsctl run -sweep -layers 4 \
+		-grid 16 -pads 0.25,0.5 -converters 2,4 -tsvs dense \
+		> /tmp/voltstack-fleet-demo/standalone.json; \
+	cmp /tmp/voltstack-fleet-demo/sharded.json \
+		/tmp/voltstack-fleet-demo/standalone.json \
+		&& echo "fleet-demo: sharded result byte-identical to standalone"; \
+	./bin/vsctl fleet; \
+	kill -TERM $$w1pid $$w2pid $$spid $$cpid; \
+	wait $$w1pid $$w2pid $$spid $$cpid
 
 # serve-demo starts the evaluation daemon, runs the same job twice through
 # vsctl (the second is a content-addressed cache hit: identical bytes, zero

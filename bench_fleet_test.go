@@ -1,0 +1,134 @@
+// Standalone-vs-sharded benchmark pair for the evaluation fleet. The same
+// small sweep runs end to end over HTTP twice — once against a standalone
+// daemon, once against a coordinator dispatching to two loopback workers —
+// so the fleet's throughput gain (and its dispatch overhead) is directly
+// measurable:
+//
+//	go test -bench 'BenchmarkSolveSweepFleet' -run '^$' .
+//	make bench-solve   # rides in BENCH_solve.json as the fleet pair
+//
+// Each iteration perturbs the sweep's imbalance, which changes every
+// per-point content address: no iteration is served from any cache, so the
+// ratio is pure evaluation throughput, not cache behavior.
+package voltstack_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"voltstack/internal/fleet"
+	"voltstack/internal/rescache"
+	"voltstack/internal/server"
+)
+
+// benchFleetRequest is a 6-point sweep (4 VS designs + 2 regular-PDN
+// baselines) on the 16×16 mesh — heavy enough per point that evaluation,
+// not dispatch, dominates — evaluated serially per daemon so the
+// standalone/sharded ratio reflects fleet parallelism alone.
+func benchFleetRequest(imbalance float64) server.JobRequest {
+	return server.JobRequest{
+		Kind: server.KindSweep,
+		Sweep: &server.SweepSpec{
+			Layers:         4,
+			Imbalance:      &imbalance,
+			PadFractions:   []float64{0.25, 0.5},
+			ConverterCount: []int{2, 4},
+			TSVs:           []string{"dense"},
+			GridNx:         16,
+			GridNy:         16,
+		},
+		Workers: 1,
+	}
+}
+
+func benchCache(b *testing.B) *rescache.Cache {
+	b.Helper()
+	c, err := rescache.New(rescache.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchRunSweeps(b *testing.B, base string) {
+	// Tight, capped polling: the measured quantity is sweep throughput,
+	// not the wait loop's backoff schedule.
+	c := &server.Client{Base: base, Backoff: server.Backoff{
+		Initial: 2 * time.Millisecond, Max: 10 * time.Millisecond, Jitter: -1,
+	}}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A distinct imbalance per iteration defeats every cache tier.
+		_, st, err := c.Run(ctx, benchFleetRequest(0.6+float64(i)*1e-4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State != server.StateDone {
+			b.Fatalf("job %s: %s (%s)", st.ID, st.State, st.Error)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(6, "points/op")
+}
+
+// BenchmarkSolveSweepFleetStandalone is the baseline: the sweep submitted
+// over loopback HTTP to one standalone daemon.
+func BenchmarkSolveSweepFleetStandalone(b *testing.B) {
+	mgr, err := server.NewManager(server.Config{Cache: benchCache(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := server.Start("127.0.0.1:0", mgr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	benchRunSweeps(b, srv.URL())
+}
+
+// BenchmarkSolveSweepFleetSharded runs the identical sweep through a
+// coordinator dispatching single-point units to two loopback workers.
+func BenchmarkSolveSweepFleetSharded(b *testing.B) {
+	cache := benchCache(b)
+	coord := fleet.NewCoordinator(cache, fleet.CoordinatorConfig{
+		Registry: fleet.NewRegistry(time.Hour),
+		UnitSize: 1,
+	})
+	mgr, err := server.NewManager(server.Config{Cache: cache, Dispatcher: coord})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	mux := server.NewHandler(mgr)
+	coord.Mount(mux)
+	srv, err := server.StartHandler("127.0.0.1:0", mgr, mux)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, name := range []string{"bw1", "bw2"} {
+		wmgr, err := server.NewManager(server.Config{Cache: benchCache(b)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer wmgr.Close()
+		wmux := server.NewHandler(wmgr)
+		wsrv, err := server.StartHandler("127.0.0.1:0", wmgr, wmux)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer wsrv.Close()
+		agent := fleet.NewAgent(wmgr, fleet.AgentConfig{
+			Name: name, Join: srv.URL(), Advertise: wsrv.URL(),
+		})
+		agent.Mount(wmux)
+		if err := agent.BeatOnce(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchRunSweeps(b, srv.URL())
+}

@@ -97,6 +97,20 @@ type ProbePair struct {
 	OnAllocs  float64 `json:"probes_on_allocs_per_op,omitempty"`
 }
 
+// FleetPair couples a Standalone benchmark with its Sharded twin (the
+// evaluation-fleet pairs): the same sweep submitted to one daemon and to
+// a coordinator dispatching over loopback workers. On a many-core host
+// the speedup approaches the worker count; on a starved one it degrades
+// toward the dispatch overhead (speedup < 1) — either way the recorded
+// ratio pins the fleet's overhead against regression.
+type FleetPair struct {
+	Name         string  `json:"name"`
+	StandaloneNs float64 `json:"standalone_ns_per_op"`
+	ShardedNs    float64 `json:"sharded_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+	Points       float64 `json:"points,omitempty"`
+}
+
 // Report is the emitted document.
 type Report struct {
 	GoOS        string       `json:"goos,omitempty"`
@@ -107,6 +121,7 @@ type Report struct {
 	BatchPairs  []BatchPair  `json:"batch_pairs,omitempty"`
 	KernelPairs []KernelPair `json:"kernel_pairs,omitempty"`
 	ProbePairs  []ProbePair  `json:"probe_pairs,omitempty"`
+	FleetPairs  []FleetPair  `json:"fleet_pairs,omitempty"`
 }
 
 func main() {
@@ -185,7 +200,8 @@ func main() {
 	serial, batch := map[string]*acc{}, map[string]*acc{}
 	workers1, workers8 := map[string]*acc{}, map[string]*acc{}
 	probesOff, probesOn := map[string]*acc{}, map[string]*acc{}
-	var order, batchOrder, kernelOrder, probeOrder []string
+	standalone, sharded := map[string]*acc{}, map[string]*acc{}
+	var order, batchOrder, kernelOrder, probeOrder, fleetOrder []string
 	for _, e := range rep.Benchmarks {
 		switch {
 		case strings.HasSuffix(e.Name, "Fresh"):
@@ -204,6 +220,10 @@ func main() {
 			add(probesOff, &probeOrder, probesOn, strings.TrimSuffix(e.Name, "ProbesOff"), e)
 		case strings.HasSuffix(e.Name, "ProbesOn"):
 			add(probesOn, &probeOrder, probesOff, strings.TrimSuffix(e.Name, "ProbesOn"), e)
+		case strings.HasSuffix(e.Name, "Standalone"):
+			add(standalone, &fleetOrder, sharded, strings.TrimSuffix(e.Name, "Standalone"), e)
+		case strings.HasSuffix(e.Name, "Sharded"):
+			add(sharded, &fleetOrder, standalone, strings.TrimSuffix(e.Name, "Sharded"), e)
 		}
 	}
 	for _, stem := range order {
@@ -275,6 +295,24 @@ func main() {
 		rep.ProbePairs = append(rep.ProbePairs, pp)
 	}
 
+	for _, stem := range fleetOrder {
+		sa, sh := standalone[stem], sharded[stem]
+		if sa == nil || sh == nil || sa.n == 0 || sh.n == 0 {
+			continue
+		}
+		am, hm := sa.sum/float64(sa.n), sh.sum/float64(sh.n)
+		fp := FleetPair{
+			Name:         stem,
+			StandaloneNs: am,
+			ShardedNs:    hm,
+			Speedup:      am / hm,
+		}
+		if sa.metrics != nil {
+			fp.Points = sa.metrics["points/op"]
+		}
+		rep.FleetPairs = append(rep.FleetPairs, fp)
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(&rep); err != nil {
@@ -339,6 +377,9 @@ func runDiff(args []string) int {
 	for _, p := range old.KernelPairs {
 		base["kernel/"+p.Name] = speedup{"workers1/workers8", p.Speedup}
 	}
+	for _, p := range old.FleetPairs {
+		base["fleet/"+p.Name] = speedup{"standalone/sharded", p.Speedup}
+	}
 	// Probe pairs gate on the disabled variant's allocs/op (deterministic
 	// per toolchain); the on/off time ratio is expected to hover at ~1.0x
 	// and single-iteration CI smokes put tens of percent of noise on it,
@@ -373,6 +414,10 @@ func runDiff(args []string) int {
 	}
 	for _, p := range cur.KernelPairs {
 		ok = check("kernel/"+p.Name, p.Name, p.Speedup) && ok
+		compared++
+	}
+	for _, p := range cur.FleetPairs {
+		ok = check("fleet/"+p.Name, p.Name, p.Speedup) && ok
 		compared++
 	}
 	for _, p := range cur.ProbePairs {

@@ -1,0 +1,490 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"voltstack/internal/rescache"
+	"voltstack/internal/server"
+	"voltstack/internal/telemetry"
+	"voltstack/internal/telemetry/history"
+)
+
+// CoordinatorConfig parameterizes a Coordinator.
+type CoordinatorConfig struct {
+	// Registry tracks worker liveness; nil builds one with the default
+	// heartbeat timeout.
+	Registry *Registry
+	// UnitSize is the number of sweep points per dispatched work unit;
+	// <= 0 selects 1 (finest stealing granularity).
+	UnitSize int
+	// WorkerWait bounds how long dispatch waits for a live worker before
+	// giving up with server.ErrNoWorkers (and the job engine computes
+	// locally). It covers the coordinator-restart window where workers
+	// have not re-registered yet; <= 0 selects 10s.
+	WorkerWait time.Duration
+	// UnitTimeout bounds one unit's round trip to a worker; <= 0 selects
+	// 10 minutes. A timed-out unit counts as a worker failure and is
+	// re-dispatched.
+	UnitTimeout time.Duration
+	// HTTP is the dispatch client; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// History, when set, receives one "fleet" record per completed
+	// dispatch round (points, units, steal/requeue tallies, duration).
+	History *history.Store
+
+	// Test seam: invoked after each successfully delivered unit.
+	testUnitDone func(worker string, unit []server.RemotePoint)
+}
+
+// Coordinator shards jobs across the registered workers. It implements
+// server.Dispatcher; plug it into the job engine via server.Config.
+type Coordinator struct {
+	cfg   CoordinatorConfig
+	reg   *Registry
+	cache *rescache.Cache
+
+	dispatched atomic.Int64
+	stolen     atomic.Int64
+	requeued   atomic.Int64
+	failures   atomic.Int64
+	forwarded  atomic.Int64
+}
+
+// NewCoordinator builds a coordinator serving cache as the fleet's
+// shared tier. Pass the same cache to the job engine's server.Config so
+// the coordinator-side per-point lookups and the workers' write-throughs
+// meet in one store.
+func NewCoordinator(cache *rescache.Cache, cfg CoordinatorConfig) *Coordinator {
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry(0)
+	}
+	if cfg.UnitSize <= 0 {
+		cfg.UnitSize = 1
+	}
+	if cfg.WorkerWait <= 0 {
+		cfg.WorkerWait = 10 * time.Second
+	}
+	if cfg.UnitTimeout <= 0 {
+		cfg.UnitTimeout = 10 * time.Minute
+	}
+	return &Coordinator{cfg: cfg, reg: cfg.Registry, cache: cache}
+}
+
+// Registry returns the coordinator's worker registry.
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+func (c *Coordinator) httpc() *http.Client {
+	if c.cfg.HTTP != nil {
+		return c.cfg.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Mount registers the coordinator's fleet endpoints (heartbeat, status,
+// shared cache tier) on mux — typically the server.NewHandler mux, so
+// one listener serves jobs and fleet traffic.
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	MountTier(mux, c.cache)
+	mux.HandleFunc("POST /fleet/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var hb Heartbeat
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&hb); err != nil {
+			http.Error(w, "malformed heartbeat", http.StatusBadRequest)
+			return
+		}
+		if err := c.reg.Beat(hb); err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrBuildMismatch) {
+				code = http.StatusConflict
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /fleet/v1/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Status())
+	})
+}
+
+// Status assembles the fleet status document.
+func (c *Coordinator) Status() Status {
+	return Status{
+		Role:            "coordinator",
+		Build:           telemetry.BuildStamp(),
+		Workers:         c.reg.Snapshot(),
+		UnitsDispatched: c.dispatched.Load(),
+		UnitsStolen:     c.stolen.Load(),
+		UnitsRequeued:   c.requeued.Load(),
+		UnitFailures:    c.failures.Load(),
+		JobsForwarded:   c.forwarded.Load(),
+		TierHits:        mTierHits.Value(),
+		TierMisses:      mTierMisses.Value(),
+		TierWrites:      mTierWrites.Value(),
+	}
+}
+
+// sched is one dispatch round's work-stealing state: a queue per worker
+// plus an orphan queue for units whose worker died. All by value under
+// one mutex — the unit counts are tiny (a sweep has at most a few
+// thousand points).
+type sched struct {
+	mu      sync.Mutex
+	own     map[string][][]server.RemotePoint
+	orphans [][]server.RemotePoint
+	active  map[string]bool // workers with a dispatch loop running
+	pending int             // units not yet delivered
+	stolen  int
+	requeue int
+	done    chan struct{} // closed when pending hits 0
+	wake    chan struct{} // poked on requeue/completion/loop exit
+}
+
+func newSched(units [][]server.RemotePoint, workers []WorkerInfo) *sched {
+	s := &sched{
+		own:     map[string][][]server.RemotePoint{},
+		active:  map[string]bool{},
+		pending: len(units),
+		done:    make(chan struct{}),
+		wake:    make(chan struct{}, 1),
+	}
+	if len(workers) == 0 {
+		s.orphans = units
+		return s
+	}
+	for i, u := range units {
+		w := workers[i%len(workers)].Name
+		s.own[w] = append(s.own[w], u)
+	}
+	return s
+}
+
+func (s *sched) poke() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// take hands the named worker its next unit: its own queue first, then
+// an orphan, then — work-stealing — the tail of the longest fellow
+// queue.
+func (s *sched) take(name string) (u []server.RemotePoint, stolen, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.own[name]; len(q) > 0 {
+		u, s.own[name] = q[0], q[1:]
+		return u, false, true
+	}
+	if len(s.orphans) > 0 {
+		u, s.orphans = s.orphans[0], s.orphans[1:]
+		return u, false, true
+	}
+	victim, max := "", 0
+	for n, q := range s.own {
+		if n != name && len(q) > max {
+			victim, max = n, len(q)
+		}
+	}
+	if max > 0 {
+		q := s.own[victim]
+		u, s.own[victim] = q[len(q)-1], q[:len(q)-1]
+		s.stolen++
+		return u, true, true
+	}
+	return nil, false, false
+}
+
+// fail re-queues a failed unit and orphans the dead worker's remaining
+// queue, returning how many units went back.
+func (s *sched) fail(name string, u []server.RemotePoint) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 1 + len(s.own[name])
+	s.orphans = append(s.orphans, u)
+	s.orphans = append(s.orphans, s.own[name]...)
+	delete(s.own, name)
+	s.requeue += n
+	s.poke()
+	return n
+}
+
+func (s *sched) unitDone() {
+	s.mu.Lock()
+	if s.pending--; s.pending == 0 {
+		close(s.done)
+	}
+	s.mu.Unlock()
+	s.poke()
+}
+
+// claimIfWork marks the named worker's dispatch loop active — but only
+// if there is a unit it could possibly run, so idle workers don't spin.
+func (s *sched) claimIfWork(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active[name] || s.pending == 0 {
+		return false
+	}
+	work := len(s.own[name]) > 0 || len(s.orphans) > 0
+	if !work {
+		for n, q := range s.own {
+			if n != name && len(q) > 0 {
+				work = true
+				break
+			}
+		}
+	}
+	if !work {
+		return false
+	}
+	s.active[name] = true
+	return true
+}
+
+func (s *sched) release(name string) {
+	s.mu.Lock()
+	delete(s.active, name)
+	s.mu.Unlock()
+	s.poke()
+}
+
+func (s *sched) activeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+func (s *sched) tallies() (stolen, requeued int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stolen, s.requeue
+}
+
+func partition(points []server.RemotePoint, size int) [][]server.RemotePoint {
+	var units [][]server.RemotePoint
+	for len(points) > 0 {
+		n := size
+		if n > len(points) {
+			n = len(points)
+		}
+		units = append(units, points[:n])
+		points = points[n:]
+	}
+	return units
+}
+
+// EvaluatePoints implements server.Dispatcher: it shards points into
+// units, spreads them over the live workers, and keeps loops running —
+// spawning them for workers that join mid-job, stealing for stragglers,
+// re-dispatching units orphaned by a death — until every unit is
+// delivered or nobody is left to work (ErrNoWorkers; the job engine
+// computes the leftovers locally).
+func (c *Coordinator) EvaluatePoints(ctx context.Context, job server.DispatchJob, req server.JobRequest, points []server.RemotePoint, deliver func(p server.RemotePoint, metrics []byte)) error {
+	t0 := time.Now()
+	units := partition(points, c.cfg.UnitSize)
+	workers := c.reg.Alive()
+	s := newSched(units, workers)
+	sp := telemetry.StartSpanTrace("fleet.dispatch", job.Trace)
+	defer sp.End()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	var idleSince time.Time
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		launched := 0
+		for _, w := range c.reg.Alive() {
+			if s.claimIfWork(w.Name) {
+				wg.Add(1)
+				go func(w WorkerInfo) {
+					defer wg.Done()
+					defer s.release(w.Name)
+					c.workerLoop(ctx, job, req, s, w, deliver)
+				}(w)
+				launched++
+			}
+		}
+		if launched == 0 && s.activeCount() == 0 {
+			if idleSince.IsZero() {
+				idleSince = time.Now()
+			} else if time.Since(idleSince) > c.cfg.WorkerWait {
+				return server.ErrNoWorkers
+			}
+		} else {
+			idleSince = time.Time{}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.done:
+			stolen, requeued := s.tallies()
+			c.appendHistory(job, map[string]float64{
+				"points":   float64(len(points)),
+				"units":    float64(len(units)),
+				"workers":  float64(len(c.reg.Alive())),
+				"stolen":   float64(stolen),
+				"requeued": float64(requeued),
+				"seconds":  time.Since(t0).Seconds(),
+			})
+			return nil
+		case <-s.wake:
+		case <-tick.C:
+		}
+	}
+}
+
+// workerLoop pulls units for one worker until nothing is left for it.
+func (c *Coordinator) workerLoop(ctx context.Context, job server.DispatchJob, req server.JobRequest, s *sched, w WorkerInfo, deliver func(p server.RemotePoint, metrics []byte)) {
+	for {
+		u, stolen, ok := s.take(w.Name)
+		if !ok {
+			return
+		}
+		if stolen {
+			mStolen.Add(1)
+			c.stolen.Add(1)
+		}
+		res, err := c.runUnit(ctx, job, req, w, u)
+		delivered := 0
+		if err == nil {
+			want := make(map[int]string, len(u))
+			for _, p := range u {
+				want[p.Index] = p.Key
+			}
+			for _, p := range res.Points {
+				if key, ok := want[p.Index]; ok && key == p.Key && len(p.Metrics) > 0 {
+					deliver(server.RemotePoint{Index: p.Index, Key: p.Key}, p.Metrics)
+					delivered++
+					delete(want, p.Index) // a duplicate answer counts once
+				}
+			}
+			if delivered < len(u) {
+				err = fmt.Errorf("fleet: worker %s answered %d of %d points", w.Name, delivered, len(u))
+			}
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			mUnitFails.Add(1)
+			c.failures.Add(1)
+			c.reg.RecordUnit(w.Name, stolen, true)
+			c.reg.MarkFailed(w.Name)
+			n := s.fail(w.Name, u)
+			mRequeued.Add(int64(n))
+			c.requeued.Add(int64(n))
+			telemetry.Event(slog.LevelWarn, "fleet: unit dispatch failed, re-queued",
+				slog.String("job", job.ID), slog.String("worker", w.Name),
+				slog.Int("requeued", n), slog.String("error", err.Error()))
+			return
+		}
+		mDispatched.Add(1)
+		c.dispatched.Add(1)
+		c.reg.RecordUnit(w.Name, stolen, false)
+		s.unitDone()
+		if c.cfg.testUnitDone != nil {
+			c.cfg.testUnitDone(w.Name, u)
+		}
+	}
+}
+
+// runUnit round-trips one unit to a worker.
+func (c *Coordinator) runUnit(ctx context.Context, job server.DispatchJob, req server.JobRequest, w WorkerInfo, u []server.RemotePoint) (*UnitResult, error) {
+	body, err := json.Marshal(UnitRequest{JobID: job.ID, Request: req, Points: u})
+	if err != nil {
+		return nil, err
+	}
+	uctx, cancel := context.WithTimeout(ctx, c.cfg.UnitTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(uctx, http.MethodPost,
+		w.Addr+"/fleet/v1/units:run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if job.Trace.Valid() {
+		hreq.Header.Set("traceparent", job.Trace.Child().Traceparent())
+	}
+	sp := telemetry.StartSpanTrace("fleet.unit", job.Trace)
+	defer sp.End()
+	resp, err := c.httpc().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fleet: worker %s: %s: %s", w.Name, resp.Status, bytes.TrimSpace(msg))
+	}
+	var res UnitResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&res); err != nil {
+		return nil, fmt.Errorf("fleet: worker %s: malformed unit result: %v", w.Name, err)
+	}
+	return &res, nil
+}
+
+// ForwardJob implements server.Dispatcher for non-shardable jobs: run
+// the whole job on the least-loaded live worker, failing over (and
+// marking the worker dead) on transport errors. The worker's own job
+// cache makes a re-forwarded job free.
+func (c *Coordinator) ForwardJob(ctx context.Context, job server.DispatchJob, req server.JobRequest) ([]byte, error) {
+	tried := map[string]bool{}
+	for {
+		w, ok := c.reg.LeastLoaded(tried)
+		if !ok {
+			return nil, server.ErrNoWorkers
+		}
+		tried[w.Name] = true
+		cl := &server.Client{
+			Base: w.Addr, HTTP: c.cfg.HTTP, Trace: job.Trace,
+			Backoff: server.Backoff{Initial: 50 * time.Millisecond, Max: time.Second},
+		}
+		out, st, err := cl.Run(ctx, req)
+		switch {
+		case err == nil:
+			c.forwarded.Add(1)
+			return out, nil
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		case st.State == server.StateFailed:
+			// The job itself failed — a worker hop would fail identically.
+			return nil, err
+		}
+		c.failures.Add(1)
+		mUnitFails.Add(1)
+		c.reg.MarkFailed(w.Name)
+		telemetry.Event(slog.LevelWarn, "fleet: job forward failed, trying next worker",
+			slog.String("job", job.ID), slog.String("worker", w.Name),
+			slog.String("error", err.Error()))
+	}
+}
+
+func (c *Coordinator) appendHistory(job server.DispatchJob, vals map[string]float64) {
+	if c.cfg.History == nil {
+		return
+	}
+	err := c.cfg.History.Append(history.Record{
+		T:      time.Now().UnixMilli(),
+		Kind:   "fleet",
+		ID:     job.ID,
+		Values: vals,
+	})
+	if err != nil {
+		telemetry.Event(slog.LevelWarn, "fleet: history append failed",
+			slog.String("job", job.ID), slog.String("error", err.Error()))
+	}
+}

@@ -1,0 +1,134 @@
+// Package fleet turns a set of vsserved daemons into one horizontally
+// scalable evaluation service. A coordinator daemon accepts the regular
+// /v1/jobs API unchanged, partitions sweep jobs into work units keyed by
+// the per-point content addresses (pdngrid.CacheFingerprint identities),
+// and dispatches them to registered worker daemons — with work-stealing
+// for stragglers, heartbeat-based failure detection, and re-dispatch of
+// orphaned units. Non-shardable jobs (experiments, em-mc) are forwarded
+// whole to the least-loaded worker.
+//
+// A shared result-cache tier rides on the coordinator's rescache: the
+// coordinator's own per-point lookup is the tier's read path for merges,
+// workers consult it before solving and write fresh results through, so
+// any daemon's hit serves any client. Everything is content-addressed by
+// the same canonical-JSON SHA-256 keys as a standalone daemon, which is
+// what makes the core contract hold: a sharded run's merged result is
+// byte-identical to the standalone result, and after killing any worker
+// (or the coordinator itself) a resubmitted job replays the already
+// computed points for free.
+//
+// Wire protocol (all JSON, mounted on the daemons' regular listeners):
+//
+//	POST /fleet/v1/heartbeat    worker → coordinator: register/liveness
+//	GET  /fleet/v1/status       coordinator: fleet status document
+//	GET  /fleet/v1/cache/{key}  shared cache tier lookup (404 on miss)
+//	PUT  /fleet/v1/cache/{key}  shared cache tier write-through
+//	POST /fleet/v1/units:run    coordinator → worker: evaluate a unit
+//
+// Build coherence: every cache key folds in telemetry.BuildStamp(), so a
+// worker built from different code would silently never share results.
+// The registry therefore rejects heartbeats whose build stamp differs
+// from the coordinator's, and workers verify each dispatched unit's keys
+// against their own build before solving.
+package fleet
+
+import (
+	"encoding/json"
+
+	"voltstack/internal/server"
+	"voltstack/internal/telemetry"
+)
+
+// Fleet instrumentation. No-ops unless telemetry is enabled.
+var (
+	// Coordinator side.
+	mHeartbeats   = telemetry.NewCounter("fleet_heartbeats_total")
+	mWorkersAlive = telemetry.NewGauge("fleet_workers_alive")
+	mDispatched   = telemetry.NewCounter("fleet_units_dispatched_total")
+	mStolen       = telemetry.NewCounter("fleet_units_stolen_total")
+	mRequeued     = telemetry.NewCounter("fleet_units_requeued_total")
+	mUnitFails    = telemetry.NewCounter("fleet_unit_failures_total")
+	mTierHits     = telemetry.NewCounter("fleet_tier_hits_total")
+	mTierMisses   = telemetry.NewCounter("fleet_tier_misses_total")
+	mTierWrites   = telemetry.NewCounter("fleet_tier_writes_total")
+
+	// Worker side.
+	mUnitsServed  = telemetry.NewCounter("fleet_units_served_total")
+	mUnitPoints   = telemetry.NewCounter("fleet_unit_points_total")
+	mRemoteHits   = telemetry.NewCounter("fleet_remote_cache_hits_total")
+	mRemoteMisses = telemetry.NewCounter("fleet_remote_cache_misses_total")
+	mRemoteWrites = telemetry.NewCounter("fleet_remote_cache_writes_total")
+)
+
+// Heartbeat is a worker's periodic registration: identity, where the
+// coordinator can dial it, the build it runs, and its self-reported
+// load (jobs running/queued in its engine, fleet units in flight).
+type Heartbeat struct {
+	Name    string `json:"name"`
+	Addr    string `json:"addr"`
+	Build   string `json:"build"`
+	Running int    `json:"running"`
+	Queued  int    `json:"queued"`
+	Units   int    `json:"units_inflight"`
+}
+
+// UnitRequest asks a worker to evaluate one work unit: a subset of the
+// sweep points of a job. The worker rebuilds the design enumeration from
+// the request and verifies every point's key against its own build
+// before solving anything.
+type UnitRequest struct {
+	JobID   string               `json:"job_id"`
+	Request server.JobRequest    `json:"request"`
+	Points  []server.RemotePoint `json:"points"`
+}
+
+// PointResult is one evaluated point: its index, its content address and
+// the raw metrics in canonical JSON — the exact bytes a standalone
+// daemon's evaluation path produces for the same key.
+type PointResult struct {
+	Index   int             `json:"index"`
+	Key     string          `json:"key"`
+	Metrics json.RawMessage `json:"metrics"`
+}
+
+// UnitResult is a worker's answer to a UnitRequest.
+type UnitResult struct {
+	Worker string        `json:"worker"`
+	Points []PointResult `json:"points"`
+}
+
+// WorkerInfo is one registry row in the fleet status document.
+type WorkerInfo struct {
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	// LastBeat is the most recent heartbeat in RFC 3339.
+	LastBeat string `json:"last_beat,omitempty"`
+	Build    string `json:"build,omitempty"`
+
+	// Self-reported load from the last heartbeat.
+	Running       int `json:"running"`
+	Queued        int `json:"queued"`
+	UnitsInflight int `json:"units_inflight"`
+
+	// Coordinator-observed tallies.
+	UnitsDone   int64 `json:"units_done"`
+	UnitsFailed int64 `json:"units_failed"`
+	Steals      int64 `json:"steals"`
+}
+
+// Status is the GET /fleet/v1/status document.
+type Status struct {
+	Role    string       `json:"role"`
+	Build   string       `json:"build"`
+	Workers []WorkerInfo `json:"workers"`
+
+	UnitsDispatched int64 `json:"units_dispatched"`
+	UnitsStolen     int64 `json:"units_stolen"`
+	UnitsRequeued   int64 `json:"units_requeued"`
+	UnitFailures    int64 `json:"unit_failures"`
+	JobsForwarded   int64 `json:"jobs_forwarded"`
+	TierHits        int64 `json:"tier_hits"`
+	TierMisses      int64 `json:"tier_misses"`
+	TierWrites      int64 `json:"tier_writes"`
+}

@@ -1,0 +1,521 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"voltstack/internal/rescache"
+	"voltstack/internal/server"
+	"voltstack/internal/telemetry"
+)
+
+// Process-global solver-work counters: every manager in this test binary
+// shares them, so a delta of zero proves no daemon anywhere did fresh
+// solver work.
+var (
+	cSolves   = telemetry.NewCounter("pdngrid_solves_total")
+	cPCGIters = telemetry.NewCounter("sparse_pcg_iterations_total")
+)
+
+func newCache(t *testing.T) *rescache.Cache {
+	t.Helper()
+	c, err := rescache.New(rescache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// sweepReq builds a small deterministic sweep on a coarse 8×8 mesh with
+// serial evaluation. The space enumerates len(pads)×len(convs) VS designs
+// plus one regular-PDN baseline per pad fraction, so the point count is
+// len(pads)×(len(convs)+1).
+func sweepReq(pads []float64, convs []int) server.JobRequest {
+	imb := 0.65
+	return server.JobRequest{
+		Kind: server.KindSweep,
+		Sweep: &server.SweepSpec{
+			Layers:         2,
+			Imbalance:      &imb,
+			PadFractions:   pads,
+			ConverterCount: convs,
+			TSVs:           []string{"dense"},
+			GridNx:         8,
+			GridNy:         8,
+		},
+		Workers: 1,
+	}
+}
+
+// standaloneResult runs req on a fresh standalone manager — the
+// byte-identity reference every fleet run must match.
+func standaloneResult(t *testing.T, req server.JobRequest) []byte {
+	t.Helper()
+	mgr, err := server.NewManager(server.Config{Cache: newCache(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	j, err := mgr.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	res, err := mgr.Result(j)
+	if err != nil {
+		t.Fatalf("standalone run: %v", err)
+	}
+	return res
+}
+
+// worker is one worker daemon: its own manager and listener with the
+// fleet unit endpoint mounted.
+type worker struct {
+	name  string
+	mgr   *server.Manager
+	srv   *server.Server
+	agent *Agent
+}
+
+func startWorker(t *testing.T, name, join string) *worker {
+	t.Helper()
+	mgr, err := server.NewManager(server.Config{Cache: newCache(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := server.NewHandler(mgr)
+	srv, err := server.StartHandler("127.0.0.1:0", mgr, mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	agent := NewAgent(mgr, AgentConfig{Name: name, Join: join, Advertise: srv.URL()})
+	agent.Mount(mux)
+	if err := agent.BeatOnce(context.Background()); err != nil {
+		t.Fatalf("worker %s heartbeat: %v", name, err)
+	}
+	return &worker{name: name, mgr: mgr, srv: srv, agent: agent}
+}
+
+// coordinator is one coordinator daemon wired exactly like
+// `vsserved -role coordinator`: one cache shared between the job engine
+// and the fleet tier, the dispatcher plugged into the manager.
+type coordinator struct {
+	coord *Coordinator
+	mgr   *server.Manager
+	srv   *server.Server
+}
+
+func startCoordinator(t *testing.T, stateDir string, cfg CoordinatorConfig) *coordinator {
+	t.Helper()
+	cache := newCache(t)
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry(time.Hour) // liveness by heartbeat only, no timeout flake
+	}
+	if cfg.WorkerWait == 0 {
+		cfg.WorkerWait = 30 * time.Second
+	}
+	coord := NewCoordinator(cache, cfg)
+	mgr, err := server.NewManager(server.Config{Cache: cache, StateDir: stateDir, Dispatcher: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := server.NewHandler(mgr)
+	coord.Mount(mux)
+	srv, err := server.StartHandler("127.0.0.1:0", mgr, mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return &coordinator{coord: coord, mgr: mgr, srv: srv}
+}
+
+// TestRegistryLiveness pins heartbeat-based liveness: a worker is alive
+// until it has been silent past the timeout or a dispatch to it failed,
+// and the next heartbeat revives it either way.
+func TestRegistryLiveness(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := NewRegistry(6 * time.Second)
+	r.now = func() time.Time { return now }
+
+	hb := Heartbeat{Name: "w1", Addr: "http://w1", Build: telemetry.BuildStamp()}
+	if err := r.Beat(hb); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Alive(); len(got) != 1 || got[0].Name != "w1" {
+		t.Fatalf("Alive = %v, want [w1]", got)
+	}
+
+	now = now.Add(7 * time.Second)
+	if got := r.Alive(); len(got) != 0 {
+		t.Fatalf("after timeout Alive = %v, want empty", got)
+	}
+	if snap := r.Snapshot(); len(snap) != 1 || snap[0].Alive {
+		t.Fatalf("Snapshot = %+v, want one dead worker", snap)
+	}
+
+	if err := r.Beat(hb); err != nil {
+		t.Fatal(err)
+	}
+	r.MarkFailed("w1")
+	if got := r.Alive(); len(got) != 0 {
+		t.Fatalf("after MarkFailed Alive = %v, want empty", got)
+	}
+	if err := r.Beat(hb); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Alive(); len(got) != 1 {
+		t.Fatalf("heartbeat did not revive the failed worker: %v", got)
+	}
+
+	if err := r.Beat(Heartbeat{Name: "w2", Addr: "http://w2", Build: "other-build"}); err == nil {
+		t.Fatal("mismatched build stamp accepted")
+	}
+	if err := r.Beat(Heartbeat{Name: "", Addr: "http://w3"}); err == nil {
+		t.Fatal("anonymous heartbeat accepted")
+	}
+}
+
+// TestSchedStealAndFail pins the work-stealing order (own queue, then
+// orphans, then the longest fellow queue's tail) and that a failure
+// orphans the dead worker's whole queue.
+func TestSchedStealAndFail(t *testing.T) {
+	unit := func(i int) []server.RemotePoint {
+		return []server.RemotePoint{{Index: i, Key: strings.Repeat("0", 64)}}
+	}
+	workers := []WorkerInfo{{Name: "a"}, {Name: "b"}}
+	s := newSched([][]server.RemotePoint{unit(0), unit(1), unit(2), unit(3)}, workers)
+
+	// Round-robin: a gets {0,2}, b gets {1,3}.
+	u, stolen, ok := s.take("a")
+	if !ok || stolen || u[0].Index != 0 {
+		t.Fatalf("a's first take = %v stolen=%v", u, stolen)
+	}
+	// b is idle with an empty own queue after draining it: it steals a's tail.
+	if u, _, _ = s.take("b"); u[0].Index != 1 {
+		t.Fatalf("b's first take = %v, want own unit 1", u)
+	}
+	if u, _, _ = s.take("b"); u[0].Index != 3 {
+		t.Fatalf("b's second take = %v, want own unit 3", u)
+	}
+	u, stolen, ok = s.take("b")
+	if !ok || !stolen || u[0].Index != 2 {
+		t.Fatalf("b's third take = %v stolen=%v, want to steal unit 2", u, stolen)
+	}
+
+	// a dies holding unit 0: it and a's (now empty) queue go to orphans,
+	// and b picks it up as a plain orphan, not a steal.
+	if n := s.fail("a", unit(0)); n != 1 {
+		t.Fatalf("fail requeued %d units, want 1", n)
+	}
+	u, stolen, ok = s.take("b")
+	if !ok || stolen || u[0].Index != 0 {
+		t.Fatalf("orphan take = %v stolen=%v", u, stolen)
+	}
+	if _, _, ok = s.take("b"); ok {
+		t.Fatal("take succeeded with nothing left")
+	}
+
+	for i := 0; i < 4; i++ {
+		s.unitDone()
+	}
+	select {
+	case <-s.done:
+	default:
+		t.Fatal("done not closed after every unit completed")
+	}
+}
+
+// TestTierRoundTrip pins the shared-tier wire protocol: 404 on miss, PUT
+// then GET round-trips the bytes, malformed keys are rejected, and the
+// worker-side RemoteTier degrades a dead coordinator to a miss.
+func TestTierRoundTrip(t *testing.T) {
+	cache := newCache(t)
+	mux := http.NewServeMux()
+	MountTier(mux, cache)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	key := strings.Repeat("ab", 32)
+	tier := &RemoteTier{Base: ts.URL}
+	ctx := context.Background()
+	if _, ok := tier.Get(ctx, key); ok {
+		t.Fatal("hit on an empty tier")
+	}
+	if err := tier.Put(ctx, key, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	val, ok := tier.Get(ctx, key)
+	if !ok || string(val) != `{"v":1}` {
+		t.Fatalf("Get = %q, %v", val, ok)
+	}
+	if v, ok := cache.Get(key); !ok || string(v) != `{"v":1}` {
+		t.Fatal("PUT did not land in the backing cache")
+	}
+
+	resp, err := http.Get(ts.URL + "/fleet/v1/cache/../../etc/passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("malformed key accepted")
+	}
+
+	dead := &RemoteTier{Base: "http://127.0.0.1:1"}
+	if _, ok := dead.Get(ctx, key); ok {
+		t.Fatal("dead tier reported a hit")
+	}
+}
+
+// TestFleetShardedSweepByteParity is the core contract: a sweep sharded
+// over two workers merges to exactly the bytes a standalone daemon
+// produces, with every point dispatched (none computed locally).
+func TestFleetShardedSweepByteParity(t *testing.T) {
+	telemetry.Enable()
+	req := sweepReq([]float64{0.25, 0.5}, []int{2, 4}) // 6 points
+	want := standaloneResult(t, req)
+
+	co := startCoordinator(t, "", CoordinatorConfig{UnitSize: 1})
+	startWorker(t, "w1", co.srv.URL())
+	startWorker(t, "w2", co.srv.URL())
+
+	c := &server.Client{Base: co.srv.URL(), Poll: 20 * time.Millisecond}
+	got, st, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("sharded job: %s (%s)", st.State, st.Error)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("sharded result differs from standalone:\n got %s\nwant %s", got, want)
+	}
+	if n := co.coord.dispatched.Load(); n != 6 {
+		t.Errorf("dispatched %d units, want 6 (every point remote)", n)
+	}
+	if fs := co.coord.Status(); fs.Role != "coordinator" || len(fs.Workers) != 2 {
+		t.Errorf("fleet status = role %q, %d workers; want coordinator with 2", fs.Role, len(fs.Workers))
+	}
+}
+
+// TestFleetWorkerDeathMidSweep kills a worker after its first delivered
+// unit: the sweep must still complete with standalone-identical bytes,
+// and a seed-changed resubmission must replay every point from the
+// shared cache with zero fresh solver work.
+func TestFleetWorkerDeathMidSweep(t *testing.T) {
+	telemetry.Enable()
+	req := sweepReq([]float64{0.25, 0.5, 0.75}, []int{2, 4}) // 9 points
+	want := standaloneResult(t, req)
+
+	var workers sync.Map // name -> *worker
+	var killOnce sync.Once
+	var killed atomic.Value
+	cfg := CoordinatorConfig{
+		UnitSize: 1,
+		testUnitDone: func(name string, _ []server.RemotePoint) {
+			killOnce.Do(func() {
+				if w, ok := workers.Load(name); ok {
+					w.(*worker).srv.Close() // the daemon dies mid-sweep
+					killed.Store(name)
+				}
+			})
+		},
+	}
+	co := startCoordinator(t, "", cfg)
+	for _, name := range []string{"w1", "w2"} {
+		workers.Store(name, startWorker(t, name, co.srv.URL()))
+	}
+
+	c := &server.Client{Base: co.srv.URL(), Poll: 20 * time.Millisecond}
+	got, st, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("run with worker death: %v", err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("result after worker death differs from standalone:\n got %s\nwant %s", got, want)
+	}
+	if killed.Load() == nil {
+		t.Fatal("no worker was killed; the seam never fired")
+	}
+
+	// Resubmission with a different seed: the job-level key changes but
+	// every point key is unchanged, so the coordinator replays all 9 from
+	// its cache — zero dispatches, zero fresh solver work anywhere.
+	solves0, iters0, disp0 := cSolves.Value(), cPCGIters.Value(), co.coord.dispatched.Load()
+	req2 := req
+	req2.Seed = 5
+	got2, _, err := c.Run(context.Background(), req2)
+	if err != nil {
+		t.Fatalf("resubmission: %v", err)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Error("resubmitted result not byte-identical")
+	}
+	if ds, di := cSolves.Value()-solves0, cPCGIters.Value()-iters0; ds != 0 || di != 0 {
+		t.Errorf("resubmission did fresh solver work: %d solves, %d iterations", ds, di)
+	}
+	if dd := co.coord.dispatched.Load() - disp0; dd != 0 {
+		t.Errorf("resubmission dispatched %d units, want 0 (cache replay)", dd)
+	}
+}
+
+// TestFleetCoordinatorCrashResume crashes the coordinator mid-dispatch
+// and restarts it on the same journal with an empty cache: the job
+// resumes, only the not-yet-delivered points are solved (total solver
+// work across both lives equals one uninterrupted run), and the merged
+// bytes match standalone.
+func TestFleetCoordinatorCrashResume(t *testing.T) {
+	telemetry.Enable()
+	stateDir := t.TempDir()
+	req := sweepReq([]float64{0.25, 0.5, 0.75}, []int{2, 4}) // 9 points
+
+	solvesStandalone0 := cSolves.Value()
+	want := standaloneResult(t, req)
+	solvesPerRun := cSolves.Value() - solvesStandalone0
+
+	// One worker and a delivery gate: after two delivered units the gate
+	// blocks the dispatch loop, so the crash point is exact.
+	var delivered atomic.Int64
+	gateReached := make(chan struct{})
+	release := make(chan struct{})
+	var gateOnce sync.Once
+	cfg := CoordinatorConfig{
+		UnitSize: 1,
+		testUnitDone: func(string, []server.RemotePoint) {
+			if delivered.Add(1) >= 2 {
+				gateOnce.Do(func() { close(gateReached) })
+				<-release
+			}
+		},
+	}
+	co1 := startCoordinator(t, stateDir, cfg)
+	w := startWorker(t, "w1", co1.srv.URL())
+
+	solves0 := cSolves.Value()
+	c1 := &server.Client{Base: co1.srv.URL(), Poll: 20 * time.Millisecond}
+	st, err := c1.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gateReached
+	// Crash: Close cancels the dispatch context, then blocks joining the
+	// gated loop — release the gate once the teardown is underway.
+	closed := make(chan struct{})
+	go func() {
+		co1.srv.Close()
+		close(closed)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	<-closed
+	deliveredAtCrash := delivered.Load()
+
+	// Restart on the same journal, empty cache; the worker re-registers
+	// with the new coordinator. Its stale tier client (pointing at the
+	// dead first coordinator) must degrade to misses, not errors.
+	co2 := startCoordinator(t, stateDir, CoordinatorConfig{UnitSize: 1})
+	if err := co2.coord.Registry().Beat(Heartbeat{
+		Name: "w1", Addr: w.srv.URL(), Build: telemetry.BuildStamp(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := &server.Client{Base: co2.srv.URL(), Poll: 20 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	stDone, err := c2.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("wait for resumed job: %v", err)
+	}
+	if stDone.State != server.StateDone {
+		t.Fatalf("resumed job: %s (%s)", stDone.State, stDone.Error)
+	}
+	if !stDone.Resumed {
+		t.Error("resumed job not flagged as resumed")
+	}
+	got, err := c2.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed sharded result differs from standalone:\n got %s\nwant %s", got, want)
+	}
+	// No point is ever solved twice: the two coordinator lives together
+	// did exactly one run's worth of solver work, with the checkpointed
+	// points replayed from the journal.
+	if total := cSolves.Value() - solves0; total != solvesPerRun {
+		t.Errorf("crash+resume did %d PDN solves, want %d (one run's worth; %d points were delivered pre-crash)",
+			total, solvesPerRun, deliveredAtCrash)
+	}
+	if co2.coord.dispatched.Load() != int64(9-deliveredAtCrash) {
+		t.Errorf("resume dispatched %d units, want %d", co2.coord.dispatched.Load(), 9-deliveredAtCrash)
+	}
+}
+
+// TestFleetForwardJob pins whole-job forwarding for non-shardable kinds:
+// an experiment job submitted to the coordinator runs on a worker and
+// returns the worker-computed bytes.
+func TestFleetForwardJob(t *testing.T) {
+	telemetry.Enable()
+	req := server.JobRequest{Kind: server.KindExperiment, Experiments: []string{"fig5a"}, CSV: true, Coarse: true}
+	want := standaloneResult(t, req)
+
+	co := startCoordinator(t, "", CoordinatorConfig{})
+	startWorker(t, "w1", co.srv.URL())
+
+	c := &server.Client{Base: co.srv.URL(), Poll: 20 * time.Millisecond}
+	got, st, err := c.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("forwarded run: %v", err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("forwarded experiment result not byte-identical to standalone")
+	}
+	if n := co.coord.forwarded.Load(); n != 1 {
+		t.Errorf("forwarded %d jobs, want 1", n)
+	}
+}
+
+// TestWorkerKeyMismatch pins the cache-poisoning guard: a unit whose
+// dispatched key does not match what the worker derives is rejected with
+// 409, never evaluated.
+func TestWorkerKeyMismatch(t *testing.T) {
+	mgr, err := server.NewManager(server.Config{Cache: newCache(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mux := server.NewHandler(mgr)
+	agent := NewAgent(mgr, AgentConfig{Name: "w1"})
+	agent.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	body, _ := json.Marshal(UnitRequest{
+		JobID:   "j1",
+		Request: sweepReq([]float64{0.5}, []int{2}),
+		Points:  []server.RemotePoint{{Index: 0, Key: strings.Repeat("0", 64)}},
+	})
+	resp, err := http.Post(ts.URL+"/fleet/v1/units:run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409 for a key mismatch", resp.StatusCode)
+	}
+}

@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"voltstack/internal/telemetry"
+)
+
+// ErrBuildMismatch rejects a worker whose binary differs from the
+// coordinator's: cache keys fold in the build stamp, so a mixed-build
+// fleet would never share results and could not honor the byte-identity
+// contract. The worker sees a 409 and keeps retrying (so a rolling
+// rebuild converges once both sides run the same code).
+var ErrBuildMismatch = errors.New("fleet: worker build differs from coordinator")
+
+// Registry tracks worker liveness from heartbeats. Workers are soft
+// state: a registry starts empty after a coordinator restart and
+// repopulates from the next heartbeat round, which is why dispatch waits
+// (bounded) for a live worker instead of failing fast.
+type Registry struct {
+	timeout time.Duration
+	build   string
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+
+	now func() time.Time // test seam
+}
+
+type workerState struct {
+	info     WorkerInfo
+	lastBeat time.Time
+	// failed marks a worker dead ahead of its heartbeat timeout — set
+	// when a dispatch to it errors, cleared by the next heartbeat.
+	failed bool
+}
+
+// NewRegistry builds a registry that considers a worker dead once it has
+// been silent for timeout (<= 0 selects 6s). Workers must match the
+// current process's build stamp.
+func NewRegistry(timeout time.Duration) *Registry {
+	if timeout <= 0 {
+		timeout = 6 * time.Second
+	}
+	return &Registry{
+		timeout: timeout,
+		build:   telemetry.BuildStamp(),
+		workers: map[string]*workerState{},
+		now:     time.Now,
+	}
+}
+
+// Beat registers or refreshes a worker from its heartbeat.
+func (r *Registry) Beat(hb Heartbeat) error {
+	if hb.Name == "" || hb.Addr == "" {
+		return fmt.Errorf("fleet: heartbeat needs name and addr")
+	}
+	if hb.Build != "" && hb.Build != r.build {
+		return fmt.Errorf("%w: worker %s runs %q, coordinator %q",
+			ErrBuildMismatch, hb.Name, hb.Build, r.build)
+	}
+	r.mu.Lock()
+	w := r.workers[hb.Name]
+	if w == nil {
+		w = &workerState{}
+		r.workers[hb.Name] = w
+	}
+	w.info.Name = hb.Name
+	w.info.Addr = hb.Addr
+	w.info.Build = hb.Build
+	w.info.Running = hb.Running
+	w.info.Queued = hb.Queued
+	w.info.UnitsInflight = hb.Units
+	w.lastBeat = r.now()
+	w.failed = false
+	r.updateAliveLocked()
+	r.mu.Unlock()
+	mHeartbeats.Add(1)
+	return nil
+}
+
+func (r *Registry) aliveLocked(w *workerState) bool {
+	return !w.failed && r.now().Sub(w.lastBeat) <= r.timeout
+}
+
+func (r *Registry) updateAliveLocked() {
+	n := 0
+	for _, w := range r.workers {
+		if r.aliveLocked(w) {
+			n++
+		}
+	}
+	mWorkersAlive.Set(float64(n))
+}
+
+// MarkFailed declares a worker dead until its next heartbeat — called
+// when a dispatch to it errors, so its queued units re-dispatch without
+// waiting out the heartbeat timeout.
+func (r *Registry) MarkFailed(name string) {
+	r.mu.Lock()
+	if w := r.workers[name]; w != nil {
+		w.failed = true
+	}
+	r.updateAliveLocked()
+	r.mu.Unlock()
+}
+
+// RecordUnit tallies a finished dispatch against a worker.
+func (r *Registry) RecordUnit(name string, stolen, failed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[name]
+	if w == nil {
+		return
+	}
+	switch {
+	case failed:
+		w.info.UnitsFailed++
+	default:
+		w.info.UnitsDone++
+	}
+	if stolen && !failed {
+		w.info.Steals++
+	}
+}
+
+// Alive returns the currently live workers.
+func (r *Registry) Alive() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []WorkerInfo
+	for _, w := range r.workers {
+		if r.aliveLocked(w) {
+			info := w.info
+			info.Alive = true
+			info.LastBeat = w.lastBeat.UTC().Format(time.RFC3339Nano)
+			out = append(out, info)
+		}
+	}
+	sortWorkers(out)
+	return out
+}
+
+// Snapshot returns every known worker, dead or alive.
+func (r *Registry) Snapshot() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for _, w := range r.workers {
+		info := w.info
+		info.Alive = r.aliveLocked(w)
+		info.LastBeat = w.lastBeat.UTC().Format(time.RFC3339Nano)
+		out = append(out, info)
+	}
+	sortWorkers(out)
+	return out
+}
+
+// LeastLoaded returns the live worker with the lightest self-reported
+// load, skipping the named ones.
+func (r *Registry) LeastLoaded(skip map[string]bool) (WorkerInfo, bool) {
+	var best WorkerInfo
+	found := false
+	for _, w := range r.Alive() {
+		if skip[w.Name] {
+			continue
+		}
+		load := w.Running + w.Queued + w.UnitsInflight
+		if !found || load < best.Running+best.Queued+best.UnitsInflight {
+			best = w
+			found = true
+		}
+	}
+	return best, found
+}
+
+func sortWorkers(ws []WorkerInfo) {
+	sort.Slice(ws, func(a, b int) bool { return ws[a].Name < ws[b].Name })
+}

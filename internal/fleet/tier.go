@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"voltstack/internal/rescache"
+)
+
+// The shared cache tier is the coordinator's rescache served over HTTP.
+// Content addressing makes this safe with no coherence protocol: a key
+// is the SHA-256 of everything that determines the value, so an entry is
+// immutable — the only operations are "have you got it" and "here it
+// is". Workers consult the tier after their local cache and before
+// solving, and write fresh results through, so one worker's solve serves
+// the whole fleet (and the coordinator's merge, which reads the same
+// rescache directly).
+
+// maxTierValue bounds a PUT body; point metrics are a few hundred bytes,
+// so anything near this is a protocol error, not data.
+const maxTierValue = 8 << 20
+
+// validKey reports whether key looks like a rescache content address
+// (64 hex chars) — everything else is rejected before touching the
+// cache, since the key becomes a file name in the disk tier.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// MountTier serves cache as the fleet's shared tier on mux.
+func MountTier(mux *http.ServeMux, cache *rescache.Cache) {
+	mux.HandleFunc("GET /fleet/v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !validKey(key) {
+			http.Error(w, "malformed cache key", http.StatusBadRequest)
+			return
+		}
+		val, ok := cache.Get(key)
+		if !ok {
+			mTierMisses.Add(1)
+			http.Error(w, "not cached", http.StatusNotFound)
+			return
+		}
+		mTierHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(val)
+	})
+	mux.HandleFunc("PUT /fleet/v1/cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !validKey(key) {
+			http.Error(w, "malformed cache key", http.StatusBadRequest)
+			return
+		}
+		val, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTierValue))
+		if err != nil {
+			http.Error(w, "body too large or unreadable", http.StatusBadRequest)
+			return
+		}
+		cache.Put(key, val)
+		mTierWrites.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+// RemoteTier is a worker's client for the coordinator's shared tier.
+// All methods degrade gracefully: the tier is an optimization, so a
+// failed lookup is a miss and a failed write-through is dropped.
+type RemoteTier struct {
+	// Base is the coordinator's base URL.
+	Base string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (t *RemoteTier) httpc() *http.Client {
+	if t.HTTP != nil {
+		return t.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (t *RemoteTier) url(key string) string {
+	return t.Base + "/fleet/v1/cache/" + key
+}
+
+// Get looks key up in the shared tier.
+func (t *RemoteTier) Get(ctx context.Context, key string) ([]byte, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url(key), nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := t.httpc().Do(req)
+	if err != nil {
+		mRemoteMisses.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		mRemoteMisses.Add(1)
+		return nil, false
+	}
+	val, err := io.ReadAll(io.LimitReader(resp.Body, maxTierValue))
+	if err != nil {
+		mRemoteMisses.Add(1)
+		return nil, false
+	}
+	mRemoteHits.Add(1)
+	return val, true
+}
+
+// Put writes val through to the shared tier.
+func (t *RemoteTier) Put(ctx context.Context, key string, val []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, t.url(key), bytes.NewReader(val))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.httpc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("fleet: tier put %s: %s", key[:8], resp.Status)
+	}
+	mRemoteWrites.Add(1)
+	return nil
+}

@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"voltstack/internal/explore"
+	"voltstack/internal/server"
+	"voltstack/internal/telemetry"
+)
+
+// AgentConfig parameterizes a worker Agent.
+type AgentConfig struct {
+	// Name identifies the worker in the coordinator's registry.
+	Name string
+	// Join is the coordinator's base URL, e.g. "http://localhost:8324".
+	Join string
+	// Advertise is the base URL the coordinator should dial for this
+	// worker — its own listener, reachable from the coordinator.
+	Advertise string
+	// Interval is the heartbeat period; <= 0 selects 2s. The registry's
+	// timeout should be a small multiple of it.
+	Interval time.Duration
+	// HTTP is the client for heartbeats and tier traffic; nil uses
+	// http.DefaultClient.
+	HTTP *http.Client
+}
+
+// Agent makes a vsserved daemon a fleet worker: it serves the unit
+// endpoint on the daemon's listener (evaluating through the daemon's
+// own engine and caches) and heartbeats the coordinator. The daemon's
+// regular /v1/jobs API stays fully usable — a worker is just a
+// standalone daemon that also takes fleet units.
+type Agent struct {
+	cfg  AgentConfig
+	mgr  *server.Manager
+	tier *RemoteTier
+
+	inflight atomic.Int64 // units being evaluated right now
+}
+
+// NewAgent builds an agent for mgr. The coordinator at cfg.Join also
+// serves the shared cache tier the agent reads through and writes back
+// to.
+func NewAgent(mgr *server.Manager, cfg AgentConfig) *Agent {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	a := &Agent{cfg: cfg, mgr: mgr}
+	if cfg.Join != "" {
+		a.tier = &RemoteTier{Base: cfg.Join, HTTP: cfg.HTTP}
+	}
+	return a
+}
+
+func (a *Agent) httpc() *http.Client {
+	if a.cfg.HTTP != nil {
+		return a.cfg.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Mount registers the worker's unit endpoint on mux (typically the
+// server.NewHandler mux).
+func (a *Agent) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /fleet/v1/units:run", a.handleUnit)
+}
+
+// handleUnit evaluates one work unit. Per point: local cache, then the
+// coordinator's shared tier, then a fresh solve (written back through
+// the tier). Every key is re-derived locally and must match the
+// dispatched one — a mismatch means the worker's build or schema
+// disagrees with the coordinator's, and computing anything under that
+// key would poison the fleet's caches.
+func (a *Agent) handleUnit(w http.ResponseWriter, r *http.Request) {
+	a.inflight.Add(1)
+	defer a.inflight.Add(-1)
+
+	var ur UnitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, server.MaxRequestBody)).Decode(&ur); err != nil {
+		http.Error(w, "malformed unit request", http.StatusBadRequest)
+		return
+	}
+	norm := ur.Request
+	norm.Normalize()
+	if err := norm.Validate(); err != nil {
+		http.Error(w, fmt.Sprintf("unit request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if norm.Kind != server.KindSweep {
+		http.Error(w, fmt.Sprintf("units must be sweep points, got kind %q", norm.Kind), http.StatusBadRequest)
+		return
+	}
+
+	ctx := r.Context()
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if tc, err := telemetry.ParseTraceparent(tp); err == nil {
+			ctx = telemetry.WithTraceContext(ctx, tc)
+			if sp := telemetry.StartSpanTrace("fleet.worker.unit", tc); sp != nil {
+				defer sp.End()
+			}
+		}
+	}
+
+	sp := server.SweepSpace(ur.Request)
+	designs := sp.Designs()
+	res := UnitResult{Worker: a.cfg.Name, Points: make([]PointResult, 0, len(ur.Points))}
+	for _, p := range ur.Points {
+		if p.Index < 0 || p.Index >= len(designs) {
+			http.Error(w, fmt.Sprintf("point index %d out of range [0, %d)", p.Index, len(designs)), http.StatusBadRequest)
+			return
+		}
+		d := designs[p.Index]
+		key, err := server.SweepPointKey(sp, d)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if key != p.Key {
+			http.Error(w, fmt.Sprintf("key mismatch at point %d: dispatched %.8s…, this build derives %.8s… (build/schema skew?)",
+				p.Index, p.Key, key), http.StatusConflict)
+			return
+		}
+		val, err := a.evaluatePoint(ctx, sp, d, key)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("point %d: %v", p.Index, err), http.StatusInternalServerError)
+			return
+		}
+		res.Points = append(res.Points, PointResult{Index: p.Index, Key: key, Metrics: val})
+		mUnitPoints.Add(1)
+	}
+	mUnitsServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(res)
+}
+
+// evaluatePoint resolves one point: local cache → shared tier → fresh
+// solve with tier write-through.
+func (a *Agent) evaluatePoint(ctx context.Context, sp explore.Space, d explore.Design, key string) ([]byte, error) {
+	if val, ok := a.mgr.Cache().Get(key); ok {
+		return val, nil
+	}
+	if a.tier != nil {
+		if val, ok := a.tier.Get(ctx, key); ok {
+			a.mgr.Cache().Put(key, val)
+			return val, nil
+		}
+	}
+	val, err := a.mgr.EvaluateDesign(ctx, sp, d)
+	if err != nil {
+		return nil, err
+	}
+	if a.tier != nil {
+		if werr := a.tier.Put(ctx, key, val); werr != nil {
+			telemetry.Event(slog.LevelWarn, "fleet: tier write-through failed",
+				slog.String("key", key[:8]), slog.String("error", werr.Error()))
+		}
+	}
+	return val, nil
+}
+
+// Run heartbeats the coordinator until ctx is cancelled. Failures are
+// retried on the next tick — the coordinator being down (or restarting)
+// just means this worker re-registers when it comes back.
+func (a *Agent) Run(ctx context.Context) {
+	if err := a.BeatOnce(ctx); err != nil {
+		telemetry.Event(slog.LevelWarn, "fleet: heartbeat failed",
+			slog.String("worker", a.cfg.Name), slog.String("error", err.Error()))
+	}
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := a.BeatOnce(ctx); err != nil {
+				telemetry.Event(slog.LevelWarn, "fleet: heartbeat failed",
+					slog.String("worker", a.cfg.Name), slog.String("error", err.Error()))
+			}
+		}
+	}
+}
+
+// BeatOnce sends one heartbeat with the worker's current load.
+func (a *Agent) BeatOnce(ctx context.Context) error {
+	queued, _ := a.mgr.QueueDepth()
+	hb := Heartbeat{
+		Name:    a.cfg.Name,
+		Addr:    a.cfg.Advertise,
+		Build:   telemetry.BuildStamp(),
+		Running: a.mgr.RunningJobs(),
+		Queued:  queued,
+		Units:   int(a.inflight.Load()),
+	}
+	body, err := json.Marshal(hb)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.cfg.Join+"/fleet/v1/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.httpc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("fleet: heartbeat: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

@@ -10,7 +10,13 @@ import (
 	"voltstack/internal/telemetry"
 )
 
-// Cache instrumentation. No-ops unless telemetry is enabled.
+// Cache instrumentation. No-ops unless telemetry is enabled. The
+// aggregate counters (rescache_hits_total counts memory hits,
+// rescache_misses_total counts full both-tier misses) predate the
+// per-tier set and keep their meanings; the rescache_mem_* /
+// rescache_disk_* counters break every lookup down by tier, so the
+// memory hit ratio, the disk tier's contribution and the spill rate are
+// each readable on their own (and in /statusz).
 var (
 	mHits        = telemetry.NewCounter("rescache_hits_total")
 	mDiskHits    = telemetry.NewCounter("rescache_disk_hits_total")
@@ -22,6 +28,15 @@ var (
 	mMemBytes    = telemetry.NewGauge("rescache_mem_bytes")
 	mMemEntries  = telemetry.NewGauge("rescache_mem_entries")
 	mComputeSecs = telemetry.NewHistogram("rescache_compute_seconds")
+
+	// Per-tier breakdown. Memory: hits, lookups falling past the LRU,
+	// LRU evictions. Disk: hits, lookups that consulted the disk tier and
+	// missed, spills (values written through to disk).
+	mMemHits    = telemetry.NewCounter("rescache_mem_hits_total")
+	mMemMisses  = telemetry.NewCounter("rescache_mem_misses_total")
+	mMemEvicts  = telemetry.NewCounter("rescache_mem_evictions_total")
+	mDiskMisses = telemetry.NewCounter("rescache_disk_misses_total")
+	mDiskSpills = telemetry.NewCounter("rescache_disk_spills_total")
 )
 
 // Config bounds a cache.
@@ -107,15 +122,18 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		val := el.Value.(*entry).val
 		c.mu.Unlock()
 		mHits.Add(1)
+		mMemHits.Add(1)
 		return val, true
 	}
 	c.mu.Unlock()
+	mMemMisses.Add(1)
 	if c.cfg.Dir != "" {
 		if val, err := os.ReadFile(c.diskPath(key)); err == nil {
 			mDiskHits.Add(1)
 			c.putMem(key, val)
 			return val, true
 		}
+		mDiskMisses.Add(1)
 	}
 	mMisses.Add(1)
 	return nil, false
@@ -129,6 +147,7 @@ func (c *Cache) Put(key string, val []byte) {
 			mDiskErrors.Add(1)
 		} else {
 			mDiskWrites.Add(1)
+			mDiskSpills.Add(1)
 		}
 	}
 }
@@ -152,6 +171,7 @@ func (c *Cache) putMem(key string, val []byte) {
 		delete(c.items, e.key)
 		c.bytes -= int64(len(e.val))
 		mEvictions.Add(1)
+		mMemEvicts.Add(1)
 	}
 	mMemBytes.Set(float64(c.bytes))
 	mMemEntries.Set(float64(c.ll.Len()))

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -15,19 +17,122 @@ import (
 	"voltstack/internal/telemetry"
 )
 
-// Client talks to a vsserved instance. The zero HTTP client and poll
-// interval are usable defaults; only Base is required.
+// Client-side retry/hedge instrumentation. No-ops unless telemetry is
+// enabled.
+var (
+	mClientRetries = telemetry.NewCounter("client_retries_total")
+	mClientHedged  = telemetry.NewCounter("client_hedged_requests_total")
+	mClientHedgeW  = telemetry.NewCounter("client_hedge_wins_total")
+)
+
+// Backoff is an exponential polling/retry schedule with jitter. The zero
+// value selects the defaults: 100ms initial, 5s cap, ×2 growth, ±20%
+// jitter.
+type Backoff struct {
+	// Initial is the first delay; 0 selects 100ms.
+	Initial time.Duration
+	// Max caps the grown delay; 0 selects 5s.
+	Max time.Duration
+	// Factor multiplies the delay after each attempt; values <= 1 select 2.
+	Factor float64
+	// Jitter spreads each delay uniformly over ±Jitter×delay. 0 selects
+	// 0.2; negative disables jitter entirely (deterministic schedule).
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Initial <= 0 {
+		b.Initial = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+// next returns the delay after d on the schedule.
+func (b Backoff) next(d time.Duration) time.Duration {
+	if d = time.Duration(float64(d) * b.Factor); d > b.Max {
+		d = b.Max
+	}
+	return d
+}
+
+// jittered spreads d over ±Jitter×d using rnd (a uniform [0,1) source).
+func (b Backoff) jittered(d time.Duration, rnd func() float64) time.Duration {
+	if b.Jitter <= 0 || rnd == nil {
+		return d
+	}
+	return time.Duration(float64(d) * (1 + b.Jitter*(2*rnd()-1)))
+}
+
+// Client talks to a vsserved instance. The zero HTTP client and backoff
+// are usable defaults; only Base is required.
 type Client struct {
 	// Base is the server's base URL, e.g. "http://localhost:8324".
 	Base string
 	// HTTP is the underlying client; nil uses http.DefaultClient.
 	HTTP *http.Client
-	// Poll is the Wait polling interval; 0 selects 200ms.
+	// Poll is the legacy fixed Wait interval; when set it becomes the
+	// backoff's initial delay (Backoff wins if both are set).
 	Poll time.Duration
+	// Backoff shapes Wait's polling and transient-error retries:
+	// exponential with jitter, except that a server Retry-After hint (429
+	// overload, 503 drain) overrides the computed delay for that attempt.
+	Backoff Backoff
+	// Hedge, when positive, races a second identical request against any
+	// idempotent GET still unanswered after this long, taking whichever
+	// response lands first — tail latency insurance when a fleet daemon
+	// is slow or mid-restart. Non-GET requests are never hedged.
+	Hedge time.Duration
 	// Trace, when valid, is sent as a W3C traceparent header on every
 	// request (each with a fresh span ID under the same trace), so the
 	// server's spans join the client's trace end to end.
 	Trace telemetry.TraceContext
+
+	// Test seams: sleep (nil: timer-based, honoring ctx) and rnd (nil:
+	// math/rand/v2) let tests pin the backoff schedule under a fake clock.
+	sleep func(ctx context.Context, d time.Duration) error
+	rnd   func() float64
+}
+
+func (c *Client) sleepFn() func(context.Context, time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep
+	}
+	return func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	}
+}
+
+func (c *Client) rndFn() func() float64 {
+	if c.rnd != nil {
+		return c.rnd
+	}
+	return rand.Float64
+}
+
+// backoff returns the effective Wait schedule: Backoff with defaults
+// applied, the legacy Poll standing in for an unset initial delay.
+func (c *Client) backoff() Backoff {
+	b := c.Backoff
+	if b.Initial <= 0 && c.Poll > 0 {
+		b.Initial = c.Poll
+	}
+	return b.withDefaults()
 }
 
 func (c *Client) http() *http.Client {
@@ -53,7 +158,78 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
 }
 
+// do issues a request, hedging idempotent GETs when Hedge is set.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	if method == http.MethodGet && c.Hedge > 0 {
+		return c.doHedged(ctx, path)
+	}
+	return c.doOnce(ctx, method, path, body)
+}
+
+// doHedged races a second identical GET against the first if it has not
+// answered within the hedge delay (or errored transiently), returning
+// whichever definitive response arrives first. The straggler is reaped
+// in the background; a definitive response from either attempt (success
+// or an API error — both attempts would see the same one) wins
+// immediately.
+func (c *Client) doHedged(ctx context.Context, path string) (*http.Response, error) {
+	type result struct {
+		resp   *http.Response
+		err    error
+		hedged bool
+	}
+	ch := make(chan result, 2)
+	issue := func(hedged bool) {
+		go func() {
+			resp, err := c.doOnce(ctx, http.MethodGet, path, nil)
+			ch <- result{resp, err, hedged}
+		}()
+	}
+	issue(false)
+	inflight, hedgeSent := 1, false
+	timer := time.NewTimer(c.Hedge)
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			if !hedgeSent {
+				hedgeSent = true
+				inflight++
+				mClientHedged.Add(1)
+				issue(true)
+			}
+		case r := <-ch:
+			inflight--
+			var ae *APIError
+			definitive := r.err == nil || errors.As(r.err, &ae)
+			if definitive || inflight == 0 {
+				if inflight > 0 {
+					// Reap the straggler so its connection is reusable.
+					go func() {
+						if s := <-ch; s.resp != nil {
+							io.Copy(io.Discard, s.resp.Body)
+							s.resp.Body.Close()
+						}
+					}()
+				}
+				if r.err == nil && r.hedged {
+					mClientHedgeW.Add(1)
+				}
+				return r.resp, r.err
+			}
+			// Transient failure with the hedge not yet out: send it now
+			// rather than waiting for the timer.
+			if !hedgeSent {
+				hedgeSent = true
+				inflight++
+				mClientHedged.Add(1)
+				issue(true)
+			}
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -166,28 +342,68 @@ func (c *Client) Evaluate(ctx context.Context, params url.Values) ([]byte, error
 	return io.ReadAll(resp.Body)
 }
 
-// Wait polls until the job reaches a terminal state (or ctx expires).
-func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
-	poll := c.Poll
-	if poll <= 0 {
-		poll = 200 * time.Millisecond
+// retryableWait reports whether a Wait poll error is worth retrying:
+// transport failures (the daemon may be mid-restart) and explicit
+// back-off responses (429 overload, 503 drain). Definitive API errors —
+// unknown job, bad request — fail immediately.
+func retryableWait(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return true // transport-level: connection refused, reset, timeout
 	}
-	t := time.NewTicker(poll)
-	defer t.Stop()
+	return ae.StatusCode == http.StatusTooManyRequests ||
+		ae.StatusCode == http.StatusServiceUnavailable
+}
+
+// Wait polls until the job reaches a terminal state (or ctx expires).
+// Polling follows the client's Backoff — exponential with jitter, so a
+// long-running job is probed ever less often — and transient errors
+// (transport failures, 429, 503) retry on the same schedule instead of
+// failing the wait. A Retry-After hint from the server overrides the
+// computed delay for that attempt.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	b := c.backoff()
+	sleep, rnd := c.sleepFn(), c.rndFn()
+	delay := b.Initial
+	var last JobStatus
 	for {
 		st, err := c.Status(ctx, id)
-		if err != nil {
-			return st, err
+		switch {
+		case err == nil:
+			last = st
+			if st.State.Terminal() {
+				return st, nil
+			}
+		case !retryableWait(err):
+			return last, err
+		default:
+			if ctx.Err() != nil {
+				return last, ctx.Err()
+			}
+			mClientRetries.Add(1)
 		}
-		if st.State.Terminal() {
-			return st, nil
+		d := b.jittered(delay, rnd)
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			d = ae.RetryAfter // the server knows better than the schedule
 		}
-		select {
-		case <-ctx.Done():
-			return st, ctx.Err()
-		case <-t.C:
+		if serr := sleep(ctx, d); serr != nil {
+			return last, serr
 		}
+		delay = b.next(delay)
 	}
+}
+
+// Get fetches an arbitrary API path (hedged like any idempotent GET)
+// and returns the raw response body — the escape hatch for endpoints
+// without a typed helper, e.g. the fleet status document.
+func (c *Client) Get(ctx context.Context, path string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
 }
 
 // Run submits a job, waits for it and returns its result bytes. A failed

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"voltstack/internal/explore"
+	"voltstack/internal/telemetry"
+)
+
+// The dispatcher seam lets a fleet coordinator shard jobs across worker
+// daemons without the job engine knowing anything about HTTP, heartbeats
+// or work-stealing. The Manager keeps full ownership of job lifecycle,
+// journaling and caching; a Dispatcher only evaluates points (or whole
+// jobs) somewhere else and hands the bytes back.
+//
+// The contract that makes sharding invisible: a dispatched point's
+// metrics must be the canonical JSON that the local evaluation path
+// (EvaluateDesign / Space.EvaluateContext) would have produced for the
+// same RemotePoint.Key. Delivered points enter the same per-point cache
+// and checkpoint stream as locally computed ones, and the final merge
+// replays them through explore's Precomputed machinery — so the merged
+// result is byte-identical to a standalone run, whoever computed what.
+
+// ErrNoWorkers reports that a Dispatcher currently has nobody to
+// dispatch to. The Manager treats it as "compute locally instead" — the
+// job does not fail, points already delivered stay delivered, and the
+// leftover points run on the local evaluation path.
+var ErrNoWorkers = errors.New("server: no live workers to dispatch to")
+
+// RemotePoint identifies one sweep point to evaluate remotely: the
+// design's index in Space.Designs() order plus its content-address (the
+// pdngrid.CacheFingerprint-derived per-point cache key). The key pins
+// the work unit's identity end to end: the worker verifies it against
+// its own build before computing, and the result lands in every cache
+// tier under the same address.
+type RemotePoint struct {
+	Index int    `json:"index"`
+	Key   string `json:"key"`
+}
+
+// DispatchJob carries the job identity a Dispatcher needs for telemetry:
+// the job ID and its trace context (so the coordinator's fan-out spans
+// join the submitter's trace).
+type DispatchJob struct {
+	ID    string
+	Trace telemetry.TraceContext
+}
+
+// Dispatcher evaluates work somewhere other than this process. Both
+// methods may return ErrNoWorkers to make the Manager fall back to local
+// computation.
+type Dispatcher interface {
+	// EvaluatePoints evaluates the given sweep points of req (normalized)
+	// and calls deliver once per finished point with its canonical-JSON
+	// metrics. deliver may be called concurrently. A non-nil error means
+	// some points were not delivered; the Manager computes the leftovers
+	// locally (points delivered before the error still count).
+	EvaluatePoints(ctx context.Context, job DispatchJob, req JobRequest, points []RemotePoint, deliver func(p RemotePoint, metrics []byte)) error
+
+	// ForwardJob runs a whole non-shardable job (experiment, em-mc) on
+	// one worker and returns its result bytes.
+	ForwardJob(ctx context.Context, job DispatchJob, req JobRequest) ([]byte, error)
+}
+
+// SweepSpace maps a sweep request onto its explore.Space exactly as the
+// job engine does, normalizing first. Fleet workers use it to rebuild
+// the coordinator's design enumeration; identical normalized requests
+// produce identical Designs() orderings on every daemon.
+func SweepSpace(req JobRequest) explore.Space {
+	// Normalize writes through the Sweep pointer and into its slices;
+	// deep-copy so the caller's request is left untouched.
+	if req.Sweep != nil {
+		s := *req.Sweep
+		s.PadFractions = append([]float64(nil), s.PadFractions...)
+		s.ConverterCount = append([]int(nil), s.ConverterCount...)
+		s.TSVs = append([]string(nil), s.TSVs...)
+		req.Sweep = &s
+	}
+	req.Experiments = append([]string(nil), req.Experiments...)
+	req.Normalize()
+	return buildSpace(req)
+}
+
+// SweepPointKey is the content address of one design point — the same
+// key computeSweep and EvaluateDesign use, exported so fleet daemons can
+// verify a dispatched unit's identity against their own build before
+// computing it.
+func SweepPointKey(sp explore.Space, d explore.Design) (string, error) {
+	return pointKey(sp, d)
+}

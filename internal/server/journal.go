@@ -24,19 +24,23 @@ import (
 // are re-enqueued in their original submission order.
 
 type persistedJob struct {
-	ID         string     `json:"id"`
-	Seq        int64      `json:"seq"` // submission order, preserved across resume
-	Request    JobRequest `json:"request"`
-	State      JobState   `json:"state"`
-	Key        string     `json:"key"`
-	Total      int        `json:"total"`
-	Completed  int        `json:"completed"`
-	CacheHit   bool       `json:"cache_hit,omitempty"`
-	Resumed    bool       `json:"resumed,omitempty"`
-	Error      string     `json:"error,omitempty"`
-	CreatedAt  string     `json:"created_at,omitempty"`
-	StartedAt  string     `json:"started_at,omitempty"`
-	FinishedAt string     `json:"finished_at,omitempty"`
+	ID        string     `json:"id"`
+	Seq       int64      `json:"seq"` // submission order, preserved across resume
+	Request   JobRequest `json:"request"`
+	State     JobState   `json:"state"`
+	Key       string     `json:"key"`
+	Total     int        `json:"total"`
+	Completed int        `json:"completed"`
+	CacheHit  bool       `json:"cache_hit,omitempty"`
+	Resumed   bool       `json:"resumed,omitempty"`
+	// Cancelled records the user's cancel intent independently of State:
+	// it is persisted before the runner's context is tripped, so a crash
+	// inside the cancellation window cannot resurrect the job on restart.
+	Cancelled  bool   `json:"cancelled,omitempty"`
+	Error      string `json:"error,omitempty"`
+	CreatedAt  string `json:"created_at,omitempty"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
 	// Traceparent is the job's trace context in W3C wire form, so a
 	// resumed job keeps its original trace ID across restarts.
 	Traceparent string `json:"traceparent,omitempty"`

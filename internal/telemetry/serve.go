@@ -166,6 +166,52 @@ type StatusSnapshot struct {
 	// Exemplars link the slowest observed solves back to their (trace ID,
 	// span ID) with convergence evidence attached.
 	Exemplars []Exemplar `json:"exemplars,omitempty"`
+
+	// Cache is the result cache's per-tier breakdown (memory LRU, disk
+	// spill tier), present once the cache has seen any traffic.
+	Cache *CacheStatus `json:"cache,omitempty"`
+
+	// Fleet aggregates the distributed-evaluation counters (dispatch,
+	// stealing, the shared cache tier), present on daemons participating
+	// in a fleet.
+	Fleet *FleetStatus `json:"fleet,omitempty"`
+}
+
+// CacheStatus is the /statusz view of the result cache, one field per
+// rescache per-tier counter plus the live memory-tier occupancy gauges.
+type CacheStatus struct {
+	MemHits      int64 `json:"mem_hits"`
+	MemMisses    int64 `json:"mem_misses"`
+	MemEvictions int64 `json:"mem_evictions"`
+	MemEntries   int64 `json:"mem_entries"`
+	MemBytes     int64 `json:"mem_bytes"`
+	DiskHits     int64 `json:"disk_hits"`
+	DiskMisses   int64 `json:"disk_misses"`
+	DiskSpills   int64 `json:"disk_spills"`
+	DiskErrors   int64 `json:"disk_errors"`
+	Shared       int64 `json:"singleflight_shared"`
+}
+
+// FleetStatus is the /statusz view of a daemon's fleet activity: the
+// coordinator's dispatch/steal/requeue tallies, the shared cache tier's
+// server- and client-side traffic, and the hedged-retry outcomes of the
+// embedded API client.
+type FleetStatus struct {
+	WorkersAlive    int64 `json:"workers_alive"`
+	Heartbeats      int64 `json:"heartbeats"`
+	UnitsDispatched int64 `json:"units_dispatched"`
+	UnitsStolen     int64 `json:"units_stolen"`
+	UnitsRequeued   int64 `json:"units_requeued"`
+	UnitFailures    int64 `json:"unit_failures"`
+	JobsForwarded   int64 `json:"jobs_forwarded"`
+	TierHits        int64 `json:"tier_hits"`
+	TierMisses      int64 `json:"tier_misses"`
+	TierWrites      int64 `json:"tier_writes"`
+	RemoteHits      int64 `json:"remote_cache_hits"`
+	RemoteMisses    int64 `json:"remote_cache_misses"`
+	RemoteWrites    int64 `json:"remote_cache_writes"`
+	HedgedRequests  int64 `json:"hedged_requests"`
+	HedgeWins       int64 `json:"hedge_wins"`
 }
 
 // Status assembles the current snapshot from the process registry.
@@ -205,6 +251,41 @@ func Status() StatusSnapshot {
 		s.Convergence = &h
 	}
 	s.Exemplars = stdExemplars.Snapshot()
+	cache := CacheStatus{
+		MemHits:      std.Counter("rescache_mem_hits_total").Value(),
+		MemMisses:    std.Counter("rescache_mem_misses_total").Value(),
+		MemEvictions: std.Counter("rescache_mem_evictions_total").Value(),
+		MemEntries:   int64(std.Gauge("rescache_mem_entries").Value()),
+		MemBytes:     int64(std.Gauge("rescache_mem_bytes").Value()),
+		DiskHits:     std.Counter("rescache_disk_hits_total").Value(),
+		DiskMisses:   std.Counter("rescache_disk_misses_total").Value(),
+		DiskSpills:   std.Counter("rescache_disk_spills_total").Value(),
+		DiskErrors:   std.Counter("rescache_disk_errors_total").Value(),
+		Shared:       std.Counter("rescache_singleflight_shared_total").Value(),
+	}
+	if cache != (CacheStatus{}) {
+		s.Cache = &cache
+	}
+	fleet := FleetStatus{
+		WorkersAlive:    int64(std.Gauge("fleet_workers_alive").Value()),
+		Heartbeats:      std.Counter("fleet_heartbeats_total").Value(),
+		UnitsDispatched: std.Counter("fleet_units_dispatched_total").Value(),
+		UnitsStolen:     std.Counter("fleet_units_stolen_total").Value(),
+		UnitsRequeued:   std.Counter("fleet_units_requeued_total").Value(),
+		UnitFailures:    std.Counter("fleet_unit_failures_total").Value(),
+		JobsForwarded:   std.Counter("server_jobs_forwarded_total").Value(),
+		TierHits:        std.Counter("fleet_tier_hits_total").Value(),
+		TierMisses:      std.Counter("fleet_tier_misses_total").Value(),
+		TierWrites:      std.Counter("fleet_tier_writes_total").Value(),
+		RemoteHits:      std.Counter("fleet_remote_cache_hits_total").Value(),
+		RemoteMisses:    std.Counter("fleet_remote_cache_misses_total").Value(),
+		RemoteWrites:    std.Counter("fleet_remote_cache_writes_total").Value(),
+		HedgedRequests:  std.Counter("client_hedged_requests_total").Value(),
+		HedgeWins:       std.Counter("client_hedge_wins_total").Value(),
+	}
+	if fleet != (FleetStatus{}) {
+		s.Fleet = &fleet
+	}
 	if s.Active == nil {
 		s.Active = []string{}
 	}
